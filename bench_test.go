@@ -1,0 +1,107 @@
+package mdabt
+
+// One benchmark per paper artifact: each regenerates the corresponding
+// table/figure on a reduced-scale session and reports its headline numbers
+// as custom metrics. The full-scale regeneration (as recorded in
+// EXPERIMENTS.md) is `go run ./cmd/mdaeval`.
+
+import (
+	"sync"
+	"testing"
+
+	"mdabt/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchSess *experiments.Session
+)
+
+func benchSession() *experiments.Session {
+	benchOnce.Do(func() {
+		benchSess = experiments.NewSession()
+		benchSess.Shrink = 40
+		benchSess.IterFloor = 800
+	})
+	return benchSess
+}
+
+// runArtifact runs one experiment per bench iteration (cached after the
+// first) and reports the requested series' summary statistics.
+func runArtifact(b *testing.B, id string, geomeans []string, means []string) {
+	b.Helper()
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("no experiment %q", id)
+	}
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = run(benchSession())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range geomeans {
+		b.ReportMetric(r.Geomean(s), "geomean-"+s)
+	}
+	for _, s := range means {
+		b.ReportMetric(r.Mean(s), "mean-"+s)
+	}
+}
+
+// BenchmarkTableI regenerates Table I (the MDA census of all 54 benchmarks).
+func BenchmarkTableI(b *testing.B) {
+	runArtifact(b, "table1", nil, []string{"Ratio%"})
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (alignment-flag speedup on native x86).
+func BenchmarkFigure1(b *testing.B) {
+	runArtifact(b, "fig1", nil, []string{"pathscale%", "icc%"})
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (heating-threshold sweep).
+func BenchmarkFigure10(b *testing.B) {
+	runArtifact(b, "fig10", []string{"TH=50", "TH=500", "TH=5000"}, nil)
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (code rearrangement gain/loss).
+func BenchmarkFigure11(b *testing.B) {
+	runArtifact(b, "fig11", nil, []string{"gain%"})
+}
+
+// BenchmarkFigure12 regenerates Figure 12 (DPEH vs exception handling).
+func BenchmarkFigure12(b *testing.B) {
+	runArtifact(b, "fig12", nil, []string{"gain%"})
+}
+
+// BenchmarkFigure13 regenerates Figure 13 (retranslation gain/loss).
+func BenchmarkFigure13(b *testing.B) {
+	runArtifact(b, "fig13", nil, []string{"gain%"})
+}
+
+// BenchmarkFigure14 regenerates Figure 14 (multi-version code gain/loss).
+func BenchmarkFigure14(b *testing.B) {
+	runArtifact(b, "fig14", nil, []string{"gain%"})
+}
+
+// BenchmarkFigure15 regenerates Figure 15 (per-site misalignment classes).
+func BenchmarkFigure15(b *testing.B) {
+	runArtifact(b, "fig15", nil, []string{"ratio=100%", "ratio<50%"})
+}
+
+// BenchmarkFigure16 regenerates Figure 16 (the overall mechanism comparison).
+func BenchmarkFigure16(b *testing.B) {
+	runArtifact(b, "fig16",
+		[]string{"DPEH", "DynamicProfiling", "StaticProfiling", "Direct"}, nil)
+}
+
+// BenchmarkTableIII regenerates Table III (MDAs undetected by dynamic profiling).
+func BenchmarkTableIII(b *testing.B) {
+	runArtifact(b, "table3", nil, []string{"undetected"})
+}
+
+// BenchmarkTableIV regenerates Table IV (MDAs remaining with a train profile).
+func BenchmarkTableIV(b *testing.B) {
+	runArtifact(b, "table4", nil, []string{"remaining"})
+}

@@ -1,0 +1,215 @@
+// Command dbtrun executes a guest program under the binary translator with
+// a chosen MDA handling mechanism and reports execution statistics.
+//
+// Usage:
+//
+//	dbtrun -mech eh [-rearrange] [-retranslate] [-multiversion] [-threshold N] prog.gasm
+//	dbtrun -bench 410.bwaves -mech dynprof -threshold 50
+//
+// The positional argument is a guest assembly file (see internal/guestasm
+// for the syntax). Alternatively -bench runs one of the built-in SPEC
+// benchmark models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdabt/internal/core"
+	"mdabt/internal/guest"
+	"mdabt/internal/guestasm"
+	"mdabt/internal/machine"
+	"mdabt/internal/mem"
+	"mdabt/internal/workload"
+)
+
+var mechByName = map[string]core.Mechanism{
+	"direct":  core.Direct,
+	"static":  core.StaticProfile,
+	"dynprof": core.DynamicProfile,
+	"eh":      core.ExceptionHandling,
+	"dpeh":    core.DPEH,
+}
+
+func main() {
+	mechName := flag.String("mech", "eh", "mechanism: direct, static, dynprof, eh, dpeh")
+	threshold := flag.Uint64("threshold", 0, "heating threshold (0 = mechanism default)")
+	rearrange := flag.Bool("rearrange", false, "enable code rearrangement (EH)")
+	retranslate := flag.Bool("retranslate", false, "enable block retranslation (DPEH)")
+	multiversion := flag.Bool("multiversion", false, "enable multi-version code (DPEH)")
+	mvblock := flag.Bool("mvblock", false, "multi-version at block granularity (with -multiversion)")
+	bench := flag.String("bench", "", "run a built-in benchmark model instead of a file")
+	input := flag.String("input", "ref", "benchmark input set: train or ref")
+	budget := flag.Uint64("budget", 4_000_000_000, "host-instruction budget")
+	dump := flag.Bool("dump", false, "disassemble every translated block after the run")
+	events := flag.Int("events", 0, "print the last N translator events")
+	ibtc := flag.Bool("ibtc", false, "enable the indirect-branch translation cache")
+	adaptive := flag.Bool("adaptive", false, "enable §IV-D adaptive sites (DPEH)")
+	superblocks := flag.Bool("superblocks", false, "enable phase-2 trace formation (DPEH/dynprof)")
+	profileOut := flag.String("profile-out", "", "run a training census and write the profile database (JSON) here, then exit")
+	profileIn := flag.String("profile-in", "", "load a stored profile database for the static mechanism")
+	flag.Parse()
+
+	mech, ok := mechByName[*mechName]
+	if !ok {
+		fail("unknown mechanism %q", *mechName)
+	}
+	opt := core.DefaultOptions(mech)
+	if *threshold != 0 {
+		opt.HeatThreshold = *threshold
+	}
+	opt.Rearrange = *rearrange
+	opt.Retranslate = *retranslate
+	opt.MultiVersion = *multiversion
+	opt.MVBlockGranularity = *mvblock
+	opt.IBTC = *ibtc
+	opt.Adaptive = *adaptive
+	opt.Superblocks = *superblocks
+
+	m := mem.New()
+	entry := uint32(guest.CodeBase)
+
+	progName := "program"
+	switch {
+	case *bench != "":
+		spec, ok := workload.SpecByName(*bench)
+		if !ok {
+			fail("unknown benchmark %q", *bench)
+		}
+		progName = *bench
+		prog, err := workload.Generate(spec)
+		if err != nil {
+			fail("generate: %v", err)
+		}
+		in := workload.Ref
+		if *input == "train" {
+			in = workload.Train
+		}
+		prog.Load(m, in)
+		entry = prog.Entry()
+		if mech == core.StaticProfile && *profileIn == "" {
+			opt.StaticSites = trainProfile(prog)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail("%v", err)
+		}
+		progName = flag.Arg(0)
+		img, err := guestasm.Assemble(string(src), guest.CodeBase)
+		if err != nil {
+			fail("%v", err)
+		}
+		m.WriteBytes(guest.CodeBase, img)
+	default:
+		fail("need a guest assembly file or -bench")
+	}
+
+	if *profileOut != "" {
+		// FX!32-style pre-execution: census the program and persist the
+		// profile database for later static-profiling runs.
+		db, err := core.TrainProfile(m, progName, *input, entry, *budget)
+		if err != nil {
+			fail("train: %v", err)
+		}
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		if err := db.Save(f); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("%s: %d MDA sites profiled\n", *profileOut, len(db.Sites))
+		return
+	}
+	if *profileIn != "" {
+		f, err := os.Open(*profileIn)
+		if err != nil {
+			fail("%v", err)
+		}
+		db, err := core.LoadProfileDB(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+		opt.StaticSites = db.StaticSites()
+	}
+
+	mach := machine.New(m, machine.DefaultParams())
+	eng := core.NewEngine(m, mach, opt)
+	if *events > 0 {
+		eng.EnableEventLog()
+	}
+	if err := eng.Run(entry, *budget); err != nil {
+		fail("run: %v", err)
+	}
+
+	c := mach.Counters()
+	s := eng.Stats()
+	fmt.Printf("mechanism:        %v\n", opt.Mechanism)
+	fmt.Printf("cycles:           %d\n", c.Cycles)
+	fmt.Printf("host insts:       %d\n", c.Insts)
+	fmt.Printf("loads/stores:     %d / %d\n", c.Loads, c.Stores)
+	fmt.Printf("misalign traps:   %d (%d cycles)\n", c.MisalignTraps, c.TrapCycles)
+	fmt.Printf("translated:       %d units (%d retrans, %d rearranged, %d multi-version, %d traces/%d blocks)\n",
+		s.BlocksTranslated, s.Retranslations, s.Rearrangements, s.MultiVersion, s.Superblocks, s.TraceBlocks)
+	fmt.Printf("patches/stubs:    %d / %d\n", s.Patches, s.MDAStubs)
+	fmt.Printf("interpreted:      %d guest insts (%d MDAs handled softly)\n",
+		s.InterpretedInsts, s.InterpretedMDAs)
+	fmt.Printf("dispatches/links: %d / %d\n", s.NativeBlockRuns, s.Links)
+	fmt.Printf("code cache:       %d bytes\n", eng.CodeCacheUsed())
+
+	cpu := eng.FinalCPU()
+	fmt.Printf("guest state:      eax=%#x ecx=%#x edx=%#x ebx=%#x esi=%#x edi=%#x\n",
+		cpu.R[guest.EAX], cpu.R[guest.ECX], cpu.R[guest.EDX],
+		cpu.R[guest.EBX], cpu.R[guest.ESI], cpu.R[guest.EDI])
+
+	if *dump {
+		fmt.Println()
+		for _, pc := range eng.TranslatedPCs() {
+			out, err := eng.DumpBlock(pc)
+			if err != nil {
+				fail("dump %#x: %v", pc, err)
+			}
+			fmt.Print(out)
+		}
+	}
+	if *events > 0 {
+		evs, dropped := eng.Events()
+		if len(evs) > *events {
+			evs = evs[len(evs)-*events:]
+		}
+		fmt.Println()
+		for _, ev := range evs {
+			fmt.Println(ev)
+		}
+		if dropped > 0 {
+			fmt.Printf("(%d older events dropped)\n", dropped)
+		}
+	}
+}
+
+// trainProfile runs the train input through the census interpreter and
+// collects the MDA site set (the FX!32-style profile).
+func trainProfile(prog *workload.Program) map[uint32]bool {
+	m := mem.New()
+	prog.Load(m, workload.Train)
+	c, err := core.RunCensus(m, prog.Entry(), 300_000_000)
+	if err != nil {
+		fail("train profile: %v", err)
+	}
+	sites := make(map[uint32]bool)
+	for pc, site := range c.Sites {
+		if site.MDA > 0 {
+			sites[pc] = true
+		}
+	}
+	return sites
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dbtrun: "+format+"\n", args...)
+	os.Exit(1)
+}

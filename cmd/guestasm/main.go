@@ -1,0 +1,66 @@
+// Command guestasm assembles guest (x86-like) assembly into a binary image,
+// or disassembles an image back to text.
+//
+// Usage:
+//
+//	guestasm [-base 0x400000] [-o prog.gbin] prog.gasm
+//	guestasm -d [-base 0x400000] prog.gbin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/guestasm"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble a binary image instead of assembling")
+	base := flag.Uint("base", guest.CodeBase, "image load address")
+	out := flag.String("o", "", "output file (default: stdout for -d, input with .gbin suffix otherwise)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: guestasm [-d] [-base addr] [-o out] file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *disasm {
+		text, err := guestasm.DisasmImage(data, uint32(*base))
+		if err != nil {
+			fail("%v", err)
+		}
+		if *out == "" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+
+	img, err := guestasm.Assemble(string(data), uint32(*base))
+	if err != nil {
+		fail("%v", err)
+	}
+	dest := *out
+	if dest == "" {
+		dest = flag.Arg(0) + ".gbin"
+	}
+	if err := os.WriteFile(dest, img, 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%s: %d bytes at %#x\n", dest, len(img), *base)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "guestasm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Adaptive: the paper's §IV-D "truly adaptive method", which it analyzed on
+// paper and rejected ("may not be worth pursuing") without building. We
+// built it — this example shows both sides of the trade:
+//
+//  1. on a stable, always-misaligned workload the streak-counting
+//     instrumentation is pure overhead (the paper's prediction), and
+//
+//  2. on a workload whose hot site genuinely realigns mid-run, the adaptive
+//     monitor reverts the MDA sequence back to a plain load and wins.
+//
+//     go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdabt"
+)
+
+const stable = `
+        mov     ebx, 0x10000002        ; misaligned for the whole run
+        mov     ecx, 0
+        mov     eax, 0
+        jmp     loop
+loop:   mov     edx, dword [ebx+4]
+        add     eax, edx
+        add     ecx, 1
+        cmp     ecx, 30000
+        jl      loop
+        halt
+`
+
+const realigning = `
+        mov     ebx, 0x10000002        ; misaligned …
+        mov     ecx, 0
+        mov     eax, 0
+        jmp     loop
+loop:   mov     edx, dword [ebx+4]
+        add     eax, edx
+        add     ecx, 1
+        cmp     ecx, 500
+        je      fix                    ; … until iteration 500
+        cmp     ecx, 30000
+        jl      loop
+        halt
+fix:    add     ebx, 2                 ; aligned from here on
+        jmp     loop
+`
+
+func run(src string, adaptive bool) (cycles uint64, reverts uint64) {
+	img, err := mdabt.Assemble(src, mdabt.GuestCodeBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := mdabt.MechanismOptions(mdabt.DPEH)
+	opt.Adaptive = adaptive
+	sys := mdabt.NewSystem(opt)
+	sys.LoadImage(mdabt.GuestCodeBase, img)
+	if err := sys.Run(mdabt.GuestCodeBase, 1<<30); err != nil {
+		log.Fatal(err)
+	}
+	return sys.Machine.Counters().Cycles, sys.Engine.Stats().AdaptiveReverts
+}
+
+func main() {
+	fmt.Println("The §IV-D truly-adaptive method, measured:")
+	fmt.Println()
+	for _, c := range []struct {
+		name string
+		src  string
+	}{
+		{"stable (always misaligned)", stable},
+		{"realigning at iteration 500", realigning},
+	} {
+		base, _ := run(c.src, false)
+		adapt, reverts := run(c.src, true)
+		delta := 100 * (float64(base)/float64(adapt) - 1)
+		fmt.Printf("%-30s DPEH=%-9d adaptive=%-9d (%+.1f%%, %d reverts)\n",
+			c.name, base, adapt, delta, reverts)
+	}
+	fmt.Println()
+	fmt.Println("On the stable workload the ~10-instruction instrumentation loses —")
+	fmt.Println("exactly the paper's argument for not building it. It only pays off")
+	fmt.Println("when sites genuinely realign, which SPEC-like workloads rarely do.")
+}

@@ -1,0 +1,93 @@
+// Phases: a program whose memory behaviour changes mid-run — the scenario
+// behind the paper's exception-handling proposal (§IV) and its
+// retranslation extension (§IV-C). A pointer is aligned for the first half
+// of the run and misaligned afterwards, so any profile gathered early is
+// wrong later.
+//
+//	go run ./examples/phases
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdabt"
+)
+
+const program = `
+        ; Phase-changing workload: base pointer flips alignment halfway.
+        mov     ebx, 0x10000000
+        mov     ecx, 0
+        mov     eax, 0
+        jmp     loop
+loop:   mov     edx, dword [ebx+4]
+        add     eax, edx
+        mov     edx, dword [ebx+8]
+        add     eax, edx
+        fld     f0, qword [ebx+16]
+        fadd    f1, f0
+        add     ecx, 1
+        cmp     ecx, 4000
+        je      flip
+        cmp     ecx, 8000
+        jl      loop
+        halt
+flip:   add     ebx, 1                 ; now every access misaligns
+        jmp     loop
+`
+
+type result struct {
+	label  string
+	cycles uint64
+	traps  uint64
+}
+
+func main() {
+	img, err := mdabt.Assemble(program, mdabt.GuestCodeBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		label string
+		opt   mdabt.Options
+	}{
+		{"dynamic profiling (TH=50)", withThreshold(mdabt.MechanismOptions(mdabt.DynamicProfile), 50)},
+		{"exception handling", mdabt.MechanismOptions(mdabt.ExceptionHandling)},
+		{"DPEH", mdabt.MechanismOptions(mdabt.DPEH)},
+		{"DPEH + retranslation", withRetranslate(mdabt.MechanismOptions(mdabt.DPEH))},
+	}
+
+	var results []result
+	for _, cfg := range configs {
+		sys := mdabt.NewSystem(cfg.opt)
+		sys.LoadImage(mdabt.GuestCodeBase, img)
+		if err := sys.Run(mdabt.GuestCodeBase, 1<<31); err != nil {
+			log.Fatal(err)
+		}
+		c := sys.Machine.Counters()
+		results = append(results, result{cfg.label, c.Cycles, c.MisalignTraps})
+	}
+
+	fmt.Println("12000 accesses turn misaligned after iteration 4000:")
+	fmt.Println()
+	base := results[0].cycles
+	for _, r := range results {
+		fmt.Printf("%-28s cycles=%-9d traps=%-6d (%.2fx vs dynamic profiling)\n",
+			r.label, r.cycles, r.traps, float64(r.cycles)/float64(base))
+	}
+	fmt.Println()
+	fmt.Println("Dynamic profiling translated the loop while the pointer was still")
+	fmt.Println("aligned, so every post-flip access traps (~1000 cycles each).")
+	fmt.Println("The exception-handling mechanisms patch the sites after one trap.")
+}
+
+func withThreshold(o mdabt.Options, th uint64) mdabt.Options {
+	o.HeatThreshold = th
+	return o
+}
+
+func withRetranslate(o mdabt.Options) mdabt.Options {
+	o.Retranslate = true
+	return o
+}

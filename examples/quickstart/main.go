@@ -1,0 +1,67 @@
+// Quickstart: assemble a small guest program with a misaligned hot loop,
+// run it under two MDA handling mechanisms, and compare what happens.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdabt"
+)
+
+const program = `
+        ; Sum a word-misaligned field out of 10000 records.
+        mov     ebx, 0x10000000        ; record array (aligned base)
+        mov     ecx, 0                 ; i
+        mov     eax, 0                 ; sum
+loop:   mov     edx, dword [ebx+2]     ; 4-byte load at +2: always misaligned
+        add     eax, edx
+        movzx   esi, word [ebx+7]      ; 2-byte load at +7: always misaligned
+        add     eax, esi
+        add     ecx, 1
+        cmp     ecx, 10000
+        jl      loop
+        halt
+`
+
+func run(mech mdabt.Mechanism) {
+	img, err := mdabt.Assemble(program, mdabt.GuestCodeBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := mdabt.NewSystem(mdabt.MechanismOptions(mech))
+	sys.LoadImage(mdabt.GuestCodeBase, img)
+	// Seed the record so the sums are recognizable.
+	sys.Mem.Write64(mdabt.GuestDataBase, 0x0102030405060708)
+	sys.Mem.Write64(mdabt.GuestDataBase+8, 0x1112131415161718)
+
+	if err := sys.Run(mdabt.GuestCodeBase, 1<<28); err != nil {
+		log.Fatal(err)
+	}
+	c := sys.Machine.Counters()
+	s := sys.Engine.Stats()
+	cpu := sys.GuestCPU()
+	fmt.Printf("%-20v cycles=%-9d traps=%-3d patches=%-2d sum=%#x\n",
+		mech, c.Cycles, c.MisalignTraps, s.Patches, cpu.R[0])
+}
+
+func main() {
+	fmt.Println("20000 misaligned accesses under each mechanism:")
+	fmt.Println()
+	// Direct inlines the misalignment-safe sequence everywhere; exception
+	// handling runs at full speed and patches each site after its first
+	// (and only) trap — the paper's §IV proposal.
+	for _, mech := range []mdabt.Mechanism{
+		mdabt.Direct,
+		mdabt.DynamicProfile,
+		mdabt.ExceptionHandling,
+		mdabt.DPEH,
+	} {
+		run(mech)
+	}
+	fmt.Println()
+	fmt.Println("Every mechanism computes the same sum; they differ only in cycles")
+	fmt.Println("and in how many 1000-cycle misalignment traps they take.")
+}

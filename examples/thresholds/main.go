@@ -1,0 +1,56 @@
+// Thresholds: reproduce the paper's Figure 10 trade-off on one benchmark —
+// the dynamic-profiling heating threshold balances profiling overhead
+// against undetected-MDA traps.
+//
+//	go run ./examples/thresholds [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mdabt"
+)
+
+func main() {
+	name := "400.perlbench" // the paper's "definitely needs a threshold greater than 10"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	spec, ok := mdabt.BenchmarkByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", name)
+	}
+	spec.PaperMDAs /= 10 // keep the example snappy
+	prog, err := mdabt.GenerateWorkload(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: dynamic profiling at different heating thresholds\n", name)
+	fmt.Printf("(%d iterations, %d MDA sites)\n\n", prog.Iterations, prog.MDASites)
+	fmt.Printf("%-10s %-12s %-12s %-10s %s\n", "threshold", "cycles", "interp-insts", "traps", "runtime vs TH=10")
+
+	var base uint64
+	for _, th := range []uint64{10, 50, 500, 5000} {
+		opt := mdabt.MechanismOptions(mdabt.DynamicProfile)
+		opt.HeatThreshold = th
+		sys := mdabt.NewSystem(opt)
+		prog.Load(sys.Mem, mdabt.RefInput)
+		if err := sys.Run(prog.Entry(), 1<<33); err != nil {
+			log.Fatal(err)
+		}
+		c := sys.Machine.Counters()
+		s := sys.Engine.Stats()
+		if th == 10 {
+			base = c.Cycles
+		}
+		fmt.Printf("%-10d %-12d %-12d %-10d %.3fx\n",
+			th, c.Cycles, s.InterpretedInsts, c.MisalignTraps,
+			float64(c.Cycles)/float64(base))
+	}
+	fmt.Println()
+	fmt.Println("A low threshold stops profiling before late-settling sites misalign")
+	fmt.Println("(traps!); a high threshold pays interpreter overhead on every block.")
+}

@@ -1,0 +1,3 @@
+module mdabt
+
+go 1.22

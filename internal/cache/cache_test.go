@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return New(Config{Name: "t", Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 10})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x103f) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1040) {
+		t.Fatal("next-line access hit while cold")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 4 accesses / 2 misses", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 8 sets, 2 ways; addresses 64*8=512 apart collide
+	const stride = 512
+	a, b, d := uint64(0), uint64(stride), uint64(2*stride)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a most recent
+	c.Access(d) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Fatal("a evicted, want kept (MRU)")
+	}
+	if c.Contains(b) {
+		t.Fatal("b kept, want evicted (LRU)")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d not resident after fill")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	c.Access(0)
+	c.Flush()
+	if c.Contains(0) {
+		t.Fatal("line survived flush")
+	}
+	if c.Stats().Accesses != 1 {
+		t.Fatal("flush reset stats")
+	}
+}
+
+func TestContainsDoesNotAllocate(t *testing.T) {
+	c := small()
+	if c.Contains(0x40) {
+		t.Fatal("cold Contains reported true")
+	}
+	if !c.Access(0x40) {
+		// expected miss
+	}
+	if c.Stats().Accesses != 1 {
+		t.Fatal("Contains counted as access")
+	}
+}
+
+func TestAccessIdempotentAfterFill(t *testing.T) {
+	c := small()
+	f := func(addr uint64) bool {
+		addr &= 0xffff
+		c.Access(addr)
+		return c.Access(addr) // immediately re-accessing must hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := small() // 1 KiB
+	// Touch exactly the cache's capacity once, then re-walk: all hits.
+	for a := uint64(0); a < 1024; a += 64 {
+		c.Access(a)
+	}
+	before := c.Stats().Misses
+	for a := uint64(0); a < 1024; a += 64 {
+		if !c.Access(a) {
+			t.Fatalf("capacity walk missed at %#x", a)
+		}
+	}
+	if c.Stats().Misses != before {
+		t.Fatal("misses grew on resident working set")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	bad := []Config{
+		{Name: "line0", Size: 1024, LineSize: 0, Assoc: 1},
+		{Name: "line3", Size: 1024, LineSize: 48, Assoc: 1},
+		{Name: "sets3", Size: 192, LineSize: 64, Assoc: 1},
+		{Name: "assoc0", Size: 1024, LineSize: 64, Assoc: 0},
+	}
+	for _, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %s did not panic", cfg.Name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewES40()
+	if lat := h.Fetch(0); lat != h.MemLatency {
+		t.Fatalf("cold fetch latency = %d, want %d", lat, h.MemLatency)
+	}
+	if lat := h.Fetch(0); lat != 0 {
+		t.Fatalf("warm fetch latency = %d, want 0", lat)
+	}
+	if h.MemAccesses() != 1 {
+		t.Fatalf("MemAccesses = %d, want 1", h.MemAccesses())
+	}
+	// Evict from L1I (64KiB 2-way, 512 sets => 32 KiB stride collides) but
+	// stay in the 2 MiB L2: third conflicting line evicts the first from L1,
+	// refetch should then be an L2 hit costing L2's latency.
+	const stride = 32 << 10
+	h.Fetch(1 * stride)
+	h.Fetch(2 * stride)
+	if lat := h.Fetch(0); lat != h.L2.Config().HitLatency {
+		t.Fatalf("L2-hit fetch latency = %d, want %d", lat, h.L2.Config().HitLatency)
+	}
+}
+
+func TestHierarchySplitL1(t *testing.T) {
+	h := NewES40()
+	h.Fetch(0x4000)
+	// Same line through the data path must miss L1D (split caches) but hit L2.
+	if lat := h.Data(0x4000); lat != h.L2.Config().HitLatency {
+		t.Fatalf("data probe after fetch = %d, want L2 hit %d", lat, h.L2.Config().HitLatency)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty MissRate != 0")
+	}
+	s = Stats{Accesses: 4, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Fatalf("MissRate = %v, want 0.25", s.MissRate())
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{Name: "b", Size: 64 << 10, LineSize: 64, Assoc: 2})
+	c.Access(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(0)
+	}
+}

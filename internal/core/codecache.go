@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mdabt/internal/guest"
+)
+
+// CodeCacheBase is the host virtual address of the translation cache. It
+// sits above the 32-bit guest address space.
+const CodeCacheBase = 0x0000_0000_8000_0000
+
+// ErrCodeCacheFull is returned when an allocation does not fit; the engine
+// responds with a full flush.
+var errCodeCacheFull = errors.New("core: code cache full")
+
+// codeCache is a bump allocator over the translation cache region. Block
+// bodies are allocated from the bottom up and exception-handler MDA stubs
+// from the top down: stubs land far from the code that branches to them,
+// which is exactly the instruction-locality loss that the paper's code
+// rearrangement optimization (§IV-A, Fig. 6) recovers.
+type codeCache struct {
+	base, size uint64
+	blockNext  uint64 // next free address for block bodies (grows up)
+	stubNext   uint64 // next free address past the stub zone (grows down)
+}
+
+func newCodeCache(size uint64) *codeCache {
+	cc := &codeCache{base: CodeCacheBase, size: size}
+	cc.reset()
+	return cc
+}
+
+func (cc *codeCache) reset() {
+	cc.blockNext = cc.base
+	cc.stubNext = cc.base + cc.size
+}
+
+// allocBlock reserves nbytes for a translated block body.
+func (cc *codeCache) allocBlock(nbytes uint64) (uint64, error) {
+	nbytes = (nbytes + 3) &^ 3
+	if cc.blockNext+nbytes > cc.stubNext {
+		return 0, errCodeCacheFull
+	}
+	addr := cc.blockNext
+	cc.blockNext += nbytes
+	return addr, nil
+}
+
+// allocStub reserves nbytes in the stub zone (top of the cache).
+func (cc *codeCache) allocStub(nbytes uint64) (uint64, error) {
+	nbytes = (nbytes + 3) &^ 3
+	if cc.stubNext-nbytes < cc.blockNext {
+		return 0, errCodeCacheFull
+	}
+	cc.stubNext -= nbytes
+	return cc.stubNext, nil
+}
+
+// used reports the bytes currently allocated (both zones).
+func (cc *codeCache) used() uint64 {
+	return (cc.blockNext - cc.base) + (cc.base + cc.size - cc.stubNext)
+}
+
+// exit is one control-flow exit of a translated block: a patchable BRKBT
+// stub that either names a static guest target or dispatches indirectly.
+type exit struct {
+	id          uint32
+	from        *block
+	targetGuest uint32
+	hostPC      uint64 // address of the BRKBT (or patched BR) instruction
+	linked      bool
+}
+
+// memSite is the translation-time record of one guest memory operation
+// inside a block. The exception handler uses it to regenerate code for a
+// faulting host instruction.
+type memSite struct {
+	instIdx int    // index into block.insts
+	sub     int    // sub-access within the instruction (string copies)
+	guestPC uint32 // address of the guest instruction
+	size    int
+	isStore bool
+	// How the access is reached on the host side: base register + disp
+	// (either the guest base register directly, or tmpEA with disp 0 when
+	// the address needed materialization).
+	kind memKind
+	// hostPCs lists every trap-prone host memory instruction emitted for
+	// this site (guarded multi-version arms are omitted — they cannot
+	// trap; block-granularity copies contribute one entry per plain arm).
+	hostPCs []uint64
+	// patched marks host PCs already redirected to an MDA stub.
+	patched map[uint64]bool
+}
+
+// memKind describes which MDA sequence a site needs.
+type memKind uint8
+
+const (
+	kindLD4 memKind = iota
+	kindLD2Z
+	kindLD2S
+	kindST4
+	kindST2
+	kindFLD8
+	kindFST8
+)
+
+// block is one translated unit: a basic block, or (with superblocks
+// enabled) a trace of basic blocks laid out fall-through along the hot
+// path. instPCs carries each instruction's guest address explicitly —
+// trace instructions are not contiguous in guest memory.
+type block struct {
+	guestPC   uint32
+	guestLen  uint32
+	insts     []guest.Inst
+	instLens  []int
+	instPCs   []uint32
+	nblocks   int // basic blocks in this unit (1 unless a trace)
+	hostEntry uint64
+	hostSize  uint64
+	exits     []*exit
+	sites     []*memSite
+	// knownMDA marks inst indices known to do MDAs: from the profiling
+	// phase at translation time plus every site the exception handler has
+	// seen trap. It survives retranslation (§IV-C) so the new code inlines
+	// the discovered sequences.
+	knownMDA map[int]bool
+	// mixed marks inst indices classified as sometimes-aligned (multi-
+	// version sites, §IV-D).
+	mixed map[int]bool
+	// incoming lists exits of other blocks linked directly to this block,
+	// so invalidation can unlink them.
+	incoming []*exit
+	// trapCount counts misalignment exceptions in this translation
+	// generation (retranslation trigger, Fig. 7).
+	trapCount int
+	invalid   bool
+	// twoVer marks units containing multi-version sites (statistics).
+	twoVer bool
+}
+
+func (b *block) String() string {
+	return fmt.Sprintf("block@%#x(%d insts, host %#x)", b.guestPC, len(b.insts), b.hostEntry)
+}
+
+// siteProfile is the per-site alignment profile accumulated by the
+// interpreter (phase 1) and, for Figure 15, by the census interpreter.
+type siteProfile struct {
+	mda     uint64 // misaligned executions
+	aligned uint64 // aligned executions
+}
+
+func (p siteProfile) total() uint64 { return p.mda + p.aligned }
+
+// blockProfile aggregates a block's heating count and successor counts
+// during the interpretation phase. Per-site alignment profiles are engine-
+// global (Engine.siteProf), keyed by instruction address, so trace
+// translation sees the profiles of every block it folds in.
+type blockProfile struct {
+	heat uint64
+	succ map[uint32]uint64 // successor-block counts (trace formation)
+}
+
+func newBlockProfile() *blockProfile {
+	return &blockProfile{succ: make(map[uint32]uint64)}
+}

@@ -1,0 +1,294 @@
+// Package core implements the dynamic binary translator the paper evaluates
+// MDA-handling mechanisms on: a DigitalBridge-like two-phase X86→Alpha DBT
+// (paper §V-B, Fig. 4/9) running on the machine simulator.
+//
+// The engine executes a guest (x86-like) program by interpretation and/or
+// translation to host (Alpha-like) code placed in a code cache in simulated
+// memory. Which memory operations are translated to the inline "MDA code
+// sequence" (ldq_u/ext…, paper Fig. 2) versus plain, trap-prone memory
+// instructions is decided by the configured Mechanism:
+//
+//   - Direct: every non-byte memory operation becomes the MDA code sequence
+//     (QEMU-style, §III-A).
+//   - StaticProfile: sites marked by a prior train-input profiling run get
+//     the MDA sequence (FX!32-style, §III-B).
+//   - DynamicProfile: blocks are interpreted with MDA instrumentation until
+//     a heating threshold; sites that did an MDA during profiling get the
+//     sequence (IA-32 EL-style, §III-C). Undetected MDA sites trap to the
+//     OS fixup on every occurrence.
+//   - ExceptionHandling: translate everything as plain memory operations;
+//     the BT's misalignment handler patches a faulting operation into a
+//     branch to a freshly emitted MDA sequence on its first trap (§IV).
+//   - DPEH: dynamic profiling with a low threshold plus the exception
+//     handler for the leftovers (§IV-B), optionally with block
+//     retranslation (§IV-C) and multi-version code (§IV-D).
+package core
+
+import (
+	"mdabt/internal/guest"
+	"mdabt/internal/host"
+)
+
+// Mechanism selects the MDA handling mechanism (paper Table II).
+type Mechanism int
+
+// Mechanisms under evaluation.
+const (
+	Direct Mechanism = iota
+	StaticProfile
+	DynamicProfile
+	ExceptionHandling
+	DPEH
+)
+
+var mechanismNames = map[Mechanism]string{
+	Direct:            "direct",
+	StaticProfile:     "static-profile",
+	DynamicProfile:    "dynamic-profile",
+	ExceptionHandling: "exception-handling",
+	DPEH:              "dpeh",
+}
+
+// String returns the mechanism's short name.
+func (m Mechanism) String() string {
+	if s, ok := mechanismNames[m]; ok {
+		return s
+	}
+	return "mechanism?"
+}
+
+// Options configures the translator: the mechanism, its tuning knobs
+// (paper Table II), and the BT software cost model (DESIGN.md §5).
+type Options struct {
+	Mechanism Mechanism
+
+	// HeatThreshold is the two-phase heating threshold: a block is
+	// interpreted this many times before being translated (DynamicProfile
+	// and DPEH; the paper sweeps 10..5000 in Fig. 10 and uses 50 overall).
+	HeatThreshold uint64
+
+	// Rearrange enables code rearrangement (§IV-A): after the exception
+	// handler has patched a site, the block is retranslated in place with
+	// the MDA sequence inline, restoring I-cache locality.
+	Rearrange bool
+
+	// Retranslate enables block retranslation (§IV-C): when
+	// RetransThreshold misalignment exceptions have hit one block, its
+	// translation is invalidated and profiling restarts for it.
+	Retranslate      bool
+	RetransThreshold int
+
+	// MultiVersion enables two-shape code (§IV-D) for sites that are
+	// misaligned only part of the time. The default granularity is
+	// per-site (Fig. 8 left): each mixed site checks its own address and
+	// runs either the plain instruction or the MDA sequence.
+	MultiVersion bool
+	// MVBlockGranularity switches to the paper's preferred block
+	// granularity ("generating multi-version code on basic-block
+	// granularity can help to decrease the runtime overhead"): one
+	// alignment check at the first mixed site selects between two copies
+	// of the remainder of the block — an optimistic all-plain copy and a
+	// pessimistic all-sequence copy. The check runs once per block
+	// execution instead of once per site execution.
+	MVBlockGranularity bool
+	// MixedSiteMin/Max bound the per-site misalignment ratio (observed
+	// during profiling) classifying a site as "mixed" for multi-version.
+	MixedSiteMin, MixedSiteMax float64
+
+	// Adaptive enables the "truly adaptive method" the paper describes but
+	// rejects on cost grounds (§IV-D, Fig. 8 right): MDA-sequence sites are
+	// instrumented with an aligned-streak counter, and when a site stays
+	// aligned for AdaptiveStreak consecutive executions the block is
+	// retranslated with that site reverted to a plain memory operation.
+	// The instrumentation itself costs ~10 instructions (3 memory, 2
+	// branches) per execution — implemented here to measure the paper's
+	// claim that it is not worth pursuing.
+	Adaptive       bool
+	AdaptiveStreak uint8
+
+	// NoChain disables translation chaining (exit stubs are never patched
+	// into direct branches), for the ablation experiment: every block exit
+	// then pays the BRKBT dispatch round trip.
+	NoChain bool
+
+	// Superblocks enables trace formation in the second translation phase
+	// (DynamicProfile/DPEH): a hot block is translated together with its
+	// dominant successors, laid out fall-through, with cold side exits.
+	// This is the "hot regions … retranslated and further optimized" step
+	// of the paper's two-phase framework (§III-C, Fig. 9).
+	Superblocks bool
+
+	// IBTC enables an inline indirect-branch translation cache for RET
+	// targets: a 256-entry direct-mapped guest-PC→host-PC table probed in
+	// translated code, filled by the dispatcher on misses. This is the
+	// content-associative lookup the DigitalBridge authors describe in
+	// their companion paper (the paper's reference [19]); without it every
+	// indirect transfer pays the BRKBT round trip into the monitor.
+	IBTC bool
+
+	// StaticSites is the train-run profile for StaticProfile: the set of
+	// guest instruction addresses to translate into MDA sequences.
+	StaticSites map[uint32]bool
+
+	// BT software costs, in host cycles (DESIGN.md §5).
+	InterpCyclesPerInst    uint64
+	TranslateCyclesPerInst uint64
+	TranslateFixedCycles   uint64
+	DispatchCycles         uint64
+	EHHandlerCycles        uint64
+	RearrangeFixedCycles   uint64
+	RearrangePerInstCycles uint64
+
+	// CodeCacheBytes bounds the code cache; on exhaustion the whole cache
+	// is flushed (Dynamo-style, §IV-C) and translation restarts.
+	CodeCacheBytes uint64
+}
+
+// DefaultOptions returns the configuration used by the experiments for the
+// given mechanism, with per-mechanism defaults matching the paper's §VI
+// settings (DynamicProfile threshold 50; DPEH low threshold; retranslation
+// threshold 4).
+func DefaultOptions(m Mechanism) Options {
+	o := Options{
+		Mechanism:              m,
+		HeatThreshold:          50,
+		RetransThreshold:       4,
+		MixedSiteMin:           0.05,
+		MixedSiteMax:           0.95,
+		AdaptiveStreak:         200,
+		InterpCyclesPerInst:    45,
+		TranslateCyclesPerInst: 250,
+		TranslateFixedCycles:   500,
+		DispatchCycles:         60,
+		EHHandlerCycles:        1500,
+		RearrangeFixedCycles:   800,
+		RearrangePerInstCycles: 120,
+		CodeCacheBytes:         4 << 20,
+	}
+	if m == DPEH {
+		o.HeatThreshold = 10 // "relatively low threshold" (§IV-B)
+	}
+	return o
+}
+
+// normalize fills zero-valued tuning fields with the mechanism defaults, so
+// hand-built Options behave sensibly.
+func (o *Options) normalize() {
+	d := DefaultOptions(o.Mechanism)
+	if o.HeatThreshold == 0 {
+		o.HeatThreshold = d.HeatThreshold
+	}
+	if o.RetransThreshold == 0 {
+		o.RetransThreshold = d.RetransThreshold
+	}
+	if o.MixedSiteMin == 0 && o.MixedSiteMax == 0 {
+		o.MixedSiteMin, o.MixedSiteMax = d.MixedSiteMin, d.MixedSiteMax
+	}
+	if o.AdaptiveStreak == 0 {
+		o.AdaptiveStreak = d.AdaptiveStreak
+	}
+	if o.InterpCyclesPerInst == 0 {
+		o.InterpCyclesPerInst = d.InterpCyclesPerInst
+	}
+	if o.TranslateCyclesPerInst == 0 {
+		o.TranslateCyclesPerInst = d.TranslateCyclesPerInst
+	}
+	if o.TranslateFixedCycles == 0 {
+		o.TranslateFixedCycles = d.TranslateFixedCycles
+	}
+	if o.DispatchCycles == 0 {
+		o.DispatchCycles = d.DispatchCycles
+	}
+	if o.EHHandlerCycles == 0 {
+		o.EHHandlerCycles = d.EHHandlerCycles
+	}
+	if o.RearrangeFixedCycles == 0 {
+		o.RearrangeFixedCycles = d.RearrangeFixedCycles
+	}
+	if o.RearrangePerInstCycles == 0 {
+		o.RearrangePerInstCycles = d.RearrangePerInstCycles
+	}
+	if o.CodeCacheBytes == 0 {
+		o.CodeCacheBytes = d.CodeCacheBytes
+	}
+}
+
+// usesProfilingPhase reports whether the mechanism interprets blocks before
+// translating them.
+func (o *Options) usesProfilingPhase() bool {
+	return o.Mechanism == DynamicProfile || o.Mechanism == DPEH
+}
+
+// usesExceptionPatching reports whether the BT's misalignment handler
+// patches faulting sites (versus leaving traps to the OS fixup).
+func (o *Options) usesExceptionPatching() bool {
+	return o.Mechanism == ExceptionHandling || o.Mechanism == DPEH
+}
+
+// Guest→host register mapping (paper Fig. 2: "register %eax and %ebx in X86
+// are mapped to register R1 and R2 in the Alpha binary respectively, and
+// register 21-30 of Alpha are used as temporal registers").
+//
+// Guest GPRs live in host registers sign-extended to 64 bits; guest
+// quadword (F) registers live in host registers raw. Guest addresses are
+// assumed to stay below 2^31 (standard 32-bit user space), so the
+// sign-extended values are also valid host addresses.
+func hostGPR(r guest.Reg) host.Reg { return host.R1 + host.Reg(r) }
+
+func hostFR(f guest.FReg) host.Reg { return host.R9 + host.Reg(f) }
+
+// BT temporaries.
+const (
+	tmpIndirect = host.R0  // indirect-exit guest target
+	tmpA        = host.R21 // MDA sequence scratch
+	tmpB        = host.R22
+	tmpEA       = host.R23 // effective address
+	tmpC        = host.R24
+	tmpD        = host.R25
+	tmpImm      = host.R27 // immediate materialization
+	tmpCond     = host.R28 // branch condition materialization
+)
+
+// BRKBT service payloads.
+const (
+	svcHalt     = 0 // machine.HaltService
+	svcIndirect = 1 // dispatch to guest PC in tmpIndirect
+	svcExitBase = 8 // payload-svcExitBase indexes the engine's exit table
+	// svcAdaptiveFlag marks an adaptive-revert request; the low bits index
+	// the engine's adaptive-site table. Exit IDs stay below the flag.
+	svcAdaptiveFlag = 1 << 24
+)
+
+// counterBase is the host address of the BT's adaptive streak counters
+// (guest-invisible data, kept below 2^31 so a single LDAH/LDA pair
+// materializes any counter address).
+const counterBase = 0x7C00_0000
+
+// IBTC geometry: a direct-mapped table of (guest PC, host PC) quadword
+// pairs in BT-private memory.
+const (
+	ibtcBase    = 0x7D00_0000
+	ibtcEntries = 256
+	ibtcShift   = 2 // index = (guestPC >> ibtcShift) & (ibtcEntries-1)
+)
+
+// Stats counts BT-level events (machine-level counters such as cycles and
+// traps live in machine.Counters).
+type Stats struct {
+	BlocksTranslated uint64 // translations performed (incl. re-translations)
+	Retranslations   uint64 // §IV-C invalidate-and-retranslate events
+	Rearrangements   uint64 // §IV-A repositioning events
+	Patches          uint64 // exception-handler branch patches
+	MDAStubs         uint64 // MDA sequences emitted by the handler
+	InterpretedInsts uint64 // guest instructions interpreted (phase 1)
+	NativeBlockRuns  uint64 // dispatches into translated code
+	Links            uint64 // exit stubs patched into direct branches
+	Flushes          uint64 // full code cache flushes
+	InterpretedMDAs  uint64 // MDAs handled softly during interpretation
+	MultiVersion     uint64 // blocks containing per-site multi-version code
+	AdaptiveSites    uint64 // sites emitted with adaptive instrumentation
+	AdaptiveReverts  uint64 // sites reverted to plain operations
+	IBTCFills        uint64 // indirect-branch cache entries installed
+	Superblocks      uint64 // multi-block traces formed
+	TraceBlocks      uint64 // basic blocks folded into traces
+}

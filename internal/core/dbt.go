@@ -1,0 +1,522 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/host"
+	"mdabt/internal/machine"
+	"mdabt/internal/mem"
+)
+
+// ErrBudget is returned by Run when the host-instruction budget is
+// exhausted before the guest program halts.
+var ErrBudget = errors.New("core: execution budget exhausted")
+
+// siteRef resolves a faulting host PC back to its block and memory site.
+type siteRef struct {
+	b    *block
+	site *memSite
+}
+
+// Engine is the dynamic binary translator (DigitalBridge-like, paper Fig.
+// 9): interpreter + translator + code cache + dynamic monitor + BT
+// misalignment exception handler, configured with one MDA handling
+// mechanism.
+type Engine struct {
+	Mem  *mem.Memory
+	Mach *machine.Machine
+	Opt  Options
+	CPU  guest.CPU
+
+	cc       *codeCache
+	blocks   map[uint32]*block
+	exits    []*exit
+	sites    map[uint64]siteRef
+	profiles map[uint32]*blockProfile
+	siteProf map[uint32]*siteProfile // per-instruction alignment profiles
+	decoded  map[uint32]decEntry
+	// retainedMDA records, per block start PC, the instruction indices the
+	// exception handler has seen trap; it survives block invalidation and
+	// cache flushes so retranslations inline the discovered sequences.
+	retainedMDA map[uint32]map[int]bool
+	// reverted records sites the adaptive monitor (§IV-D) has demoted back
+	// to plain operations, per block start PC.
+	reverted map[uint32]map[int]bool
+	// adaptives indexes adaptive-site BRKBT payloads.
+	adaptives   []adaptiveRef
+	counterNext uint64
+	// ibtc mirrors the in-memory indirect-branch cache so invalidation can
+	// evict entries pointing into discarded translations.
+	ibtc [ibtcEntries]struct {
+		guest uint32
+		host  uint64
+		valid bool
+	}
+
+	stats       Stats
+	events      *eventLog
+	hostCurrent bool // guest state lives in host registers (vs e.CPU)
+	halted      bool
+}
+
+// NewEngine builds a translator over the shared memory and host machine.
+// It registers itself as the machine's misalignment handler.
+func NewEngine(m *mem.Memory, mach *machine.Machine, opt Options) *Engine {
+	opt.normalize()
+	e := &Engine{
+		Mem:         m,
+		Mach:        mach,
+		Opt:         opt,
+		cc:          newCodeCache(opt.CodeCacheBytes),
+		blocks:      make(map[uint32]*block),
+		sites:       make(map[uint64]siteRef),
+		profiles:    make(map[uint32]*blockProfile),
+		siteProf:    make(map[uint32]*siteProfile),
+		decoded:     make(map[uint32]decEntry),
+		retainedMDA: make(map[uint32]map[int]bool),
+		reverted:    make(map[uint32]map[int]bool),
+		counterNext: counterBase,
+	}
+	mach.SetMisalignHandler(e.handleMisalign)
+	return e
+}
+
+// Stats returns the BT-level statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Blocks returns the number of live translations.
+func (e *Engine) Blocks() int { return len(e.blocks) }
+
+// CodeCacheUsed returns bytes allocated in the code cache.
+func (e *Engine) CodeCacheUsed() uint64 { return e.cc.used() }
+
+// LoadImage copies a guest binary image into memory at base.
+func (e *Engine) LoadImage(base uint32, image []byte) {
+	e.Mem.WriteBytes(uint64(base), image)
+}
+
+// adaptiveRef resolves an adaptive BRKBT payload to its site.
+type adaptiveRef struct {
+	b       *block
+	instIdx int
+	counter uint64
+}
+
+// newAdaptive registers an adaptive site and returns its BRKBT payload id.
+func (e *Engine) newAdaptive(b *block, instIdx int, counter uint64) uint32 {
+	id := uint32(len(e.adaptives))
+	e.adaptives = append(e.adaptives, adaptiveRef{b: b, instIdx: instIdx, counter: counter})
+	return id
+}
+
+// allocCounter reserves a 4-byte adaptive streak counter.
+func (e *Engine) allocCounter() uint64 {
+	addr := e.counterNext
+	e.counterNext += 4
+	return addr
+}
+
+// ibtcFill installs an IBTC entry for a resolved indirect target.
+func (e *Engine) ibtcFill(guestPC uint32, hostEntry uint64) {
+	idx := (guestPC >> ibtcShift) & (ibtcEntries - 1)
+	addr := uint64(ibtcBase) + uint64(idx)*16
+	e.Mem.Write64(addr, uint64(guestPC))
+	e.Mem.Write64(addr+8, hostEntry)
+	e.ibtc[idx] = struct {
+		guest uint32
+		host  uint64
+		valid bool
+	}{guestPC, hostEntry, true}
+	e.event(EvIBTCFill, guestPC, hostEntry, "")
+	e.stats.IBTCFills++
+	e.Mach.AddCycles(20) // table update in the monitor
+}
+
+// ibtcEvict clears entries whose host target lies in [lo, hi) — called when
+// a translation is invalidated.
+func (e *Engine) ibtcEvict(lo, hi uint64) {
+	for i := range e.ibtc {
+		if e.ibtc[i].valid && e.ibtc[i].host >= lo && e.ibtc[i].host < hi {
+			addr := uint64(ibtcBase) + uint64(i)*16
+			e.Mem.Write64(addr, 0)
+			e.Mem.Write64(addr+8, 0)
+			e.ibtc[i].valid = false
+		}
+	}
+}
+
+// ibtcClear empties the whole table (code cache flush).
+func (e *Engine) ibtcClear() {
+	for i := range e.ibtc {
+		if e.ibtc[i].valid {
+			addr := uint64(ibtcBase) + uint64(i)*16
+			e.Mem.Write64(addr, 0)
+			e.Mem.Write64(addr+8, 0)
+			e.ibtc[i].valid = false
+		}
+	}
+}
+
+// handleAdaptiveRevert services an adaptive site's BRKBT: the site has been
+// aligned for a full streak, so the block is retranslated with it reverted
+// to a plain memory operation (§IV-D).
+func (e *Engine) handleAdaptiveRevert(id uint32) error {
+	if int(id) >= len(e.adaptives) {
+		return fmt.Errorf("core: bad adaptive payload %d", id)
+	}
+	ref := e.adaptives[id]
+	set := e.reverted[ref.b.guestPC]
+	if set == nil {
+		set = make(map[int]bool)
+		e.reverted[ref.b.guestPC] = set
+	}
+	set[ref.instIdx] = true
+	e.event(EvRevert, ref.b.guestPC, 0, fmt.Sprintf("site #%d", ref.instIdx))
+	// Reverting wins over the trap-discovered record, else the next
+	// translation would immediately re-inline the sequence. The streak
+	// counter resets so the stale code cannot refire before its block
+	// exits.
+	delete(e.retained(ref.b.guestPC), ref.instIdx)
+	e.Mem.Write32(ref.counter, 0)
+	if !ref.b.invalid {
+		e.invalidateBlock(ref.b)
+	}
+	e.stats.AdaptiveReverts++
+	return nil
+}
+
+// newExit registers a new patchable exit stub.
+func (e *Engine) newExit(from *block, target uint32, hostPC uint64) *exit {
+	ex := &exit{id: uint32(len(e.exits)), from: from, targetGuest: target, hostPC: hostPC}
+	e.exits = append(e.exits, ex)
+	from.exits = append(from.exits, ex)
+	return ex
+}
+
+// syncToHost copies the guest architectural state into the host register
+// file (GPRs sign-extended, per the translation invariant).
+func (e *Engine) syncToHost() {
+	if e.hostCurrent {
+		return
+	}
+	for r := guest.Reg(0); r < guest.NumRegs; r++ {
+		e.Mach.SetReg(hostGPR(r), uint64(int64(int32(e.CPU.R[r]))))
+	}
+	for f := guest.FReg(0); f < guest.NumFRegs; f++ {
+		e.Mach.SetReg(hostFR(f), e.CPU.F[f])
+	}
+	e.hostCurrent = true
+}
+
+// syncToCPU copies the host register file back into the guest state.
+func (e *Engine) syncToCPU() {
+	if !e.hostCurrent {
+		return
+	}
+	for r := guest.Reg(0); r < guest.NumRegs; r++ {
+		e.CPU.R[r] = uint32(e.Mach.Reg(hostGPR(r)))
+	}
+	for f := guest.FReg(0); f < guest.NumFRegs; f++ {
+		e.CPU.F[f] = e.Mach.Reg(hostFR(f))
+	}
+	e.hostCurrent = false
+}
+
+// FinalCPU returns the guest architectural state (for co-simulation
+// checks). Valid after Run returns.
+func (e *Engine) FinalCPU() guest.CPU {
+	e.syncToCPU()
+	return e.CPU
+}
+
+// retained returns the persistent trap-discovered MDA set for a block.
+func (e *Engine) retained(pc uint32) map[int]bool {
+	m := e.retainedMDA[pc]
+	if m == nil {
+		m = make(map[int]bool)
+		e.retainedMDA[pc] = m
+	}
+	return m
+}
+
+// invalidateBlock removes b's translation: unmaps it, unlinks every direct
+// branch into it, and marks it so in-flight execution of the stale code is
+// handled conservatively by the exception handler.
+func (e *Engine) invalidateBlock(b *block) {
+	e.event(EvInvalidate, b.guestPC, b.hostEntry, "")
+	b.invalid = true
+	delete(e.blocks, b.guestPC)
+	if e.Opt.IBTC {
+		e.ibtcEvict(b.hostEntry, b.hostEntry+b.hostSize)
+	}
+	for _, ex := range b.incoming {
+		if ex.linked {
+			e.Mach.Patch(ex.hostPC, host.MustEncode(host.Inst{
+				Op: host.BRKBT, Payload: svcExitBase + ex.id,
+			}))
+			ex.linked = false
+		}
+	}
+	b.incoming = nil
+}
+
+// flushAll empties the code cache (Dynamo-style full flush) when an
+// allocation fails. Heating profiles and trap-discovered MDA sites survive.
+func (e *Engine) flushAll() {
+	for _, b := range e.blocks {
+		b.invalid = true
+	}
+	e.blocks = make(map[uint32]*block)
+	e.exits = nil
+	e.sites = make(map[uint64]siteRef)
+	e.cc.reset()
+	e.Mach.IMB()
+	if e.Opt.IBTC {
+		e.ibtcClear()
+	}
+	e.event(EvFlush, 0, 0, "")
+	e.stats.Flushes++
+}
+
+// ensureTranslated translates pc, flushing and retrying once if the code
+// cache is full.
+func (e *Engine) ensureTranslated(pc uint32) (*block, error) {
+	b, err := e.translate(pc)
+	if err == errCodeCacheFull {
+		e.flushAll()
+		b, err = e.translate(pc)
+	}
+	return b, err
+}
+
+// Run executes the guest program from entry until it halts or the machine
+// has retired maxHostInsts host instructions (interpreted guest
+// instructions count 1:1 against the same budget). It returns ErrBudget on
+// exhaustion.
+func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
+	e.CPU.Reset(entry)
+	e.hostCurrent = false
+	e.halted = false
+	target := entry
+	resume := false // re-enter the machine at its current PC (adaptive revert)
+	budgetUsed := func() uint64 {
+		return e.Mach.Counters().Insts + e.stats.InterpretedInsts
+	}
+	for !e.halted {
+		if budgetUsed() >= maxHostInsts {
+			e.syncToCPU()
+			return ErrBudget
+		}
+		if !resume {
+			b, translated := e.blocks[target]
+			if !translated {
+				if e.Opt.usesProfilingPhase() && e.profile(target).heat < e.Opt.HeatThreshold {
+					e.syncToCPU()
+					e.profile(target).heat++
+					next, err := e.interpretBlock(target)
+					if err != nil {
+						return err
+					}
+					e.profile(target).succ[next]++
+					target = next
+					continue
+				}
+				var err error
+				b, err = e.ensureTranslated(target)
+				if err != nil {
+					return err
+				}
+			}
+			e.syncToHost()
+			e.Mach.SetPC(b.hostEntry)
+		}
+		resume = false
+		e.stats.NativeBlockRuns++
+		remaining := maxHostInsts - budgetUsed()
+		reason, payload, err := e.Mach.Run(remaining)
+		if err != nil {
+			return err
+		}
+		switch reason {
+		case machine.StopHalt:
+			e.halted = true
+		case machine.StopLimit:
+			e.syncToCPU()
+			return ErrBudget
+		case machine.StopBrk:
+			e.Mach.AddCycles(e.Opt.DispatchCycles)
+			if payload == svcIndirect {
+				target = uint32(e.Mach.Reg(tmpIndirect))
+				if e.Opt.IBTC {
+					if tb, ok := e.blocks[target]; ok {
+						e.ibtcFill(target, tb.hostEntry)
+					}
+				}
+				continue
+			}
+			if payload&svcAdaptiveFlag != 0 {
+				if err := e.handleAdaptiveRevert(payload &^ svcAdaptiveFlag); err != nil {
+					return err
+				}
+				// Resume in place: the machine's PC already points past the
+				// BRKBT, into the (stale but still correct) aligned path of
+				// the adaptive site.
+				resume = true
+				continue
+			}
+			idx := payload - svcExitBase
+			if int(idx) >= len(e.exits) {
+				return fmt.Errorf("core: run: bad exit payload %d", payload)
+			}
+			ex := e.exits[idx]
+			target = ex.targetGuest
+			e.maybeLink(ex)
+		}
+	}
+	e.syncToCPU()
+	return nil
+}
+
+// maybeLink patches an exit stub into a direct branch when its target is
+// translated and in branch range (translation chaining).
+func (e *Engine) maybeLink(ex *exit) {
+	if e.Opt.NoChain || ex.linked || ex.from.invalid {
+		return
+	}
+	tb, ok := e.blocks[ex.targetGuest]
+	if !ok {
+		return
+	}
+	d, fits := host.BrDispFor(ex.hostPC, tb.hostEntry)
+	if !fits {
+		return
+	}
+	e.Mach.Patch(ex.hostPC, host.MustEncode(host.Inst{Op: host.BR, Ra: host.Zero, Disp: d}))
+	ex.linked = true
+	tb.incoming = append(tb.incoming, ex)
+	e.event(EvLink, ex.targetGuest, ex.hostPC, "")
+	e.stats.Links++
+}
+
+// stubKind maps a faulting host memory opcode to the MDA sequence the
+// exception handler must emit. Sign-extension fixups that follow the
+// faulting instruction in the original code still execute, so a 2-byte
+// sequence is always the zero-extending one.
+func stubKind(op host.Op) (memKind, bool) {
+	switch op {
+	case host.LDL:
+		return kindLD4, true
+	case host.LDWU:
+		return kindLD2Z, true
+	case host.LDQ:
+		return kindFLD8, true
+	case host.STW:
+		return kindST2, true
+	case host.STL:
+		return kindST4, true
+	case host.STQ:
+		return kindFST8, true
+	}
+	return 0, false
+}
+
+// handleMisalign is the BT's misalignment exception handler (paper §IV,
+// Fig. 5): registered with the machine, called after the architectural trap
+// cost is charged.
+func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, ea uint64) uint64 {
+	ref, known := e.sites[pc]
+	if !known || !e.Opt.usesExceptionPatching() || ref.b.invalid {
+		// OS-style fixup: emulate the access and continue. This is the
+		// every-time cost that Direct/Static/Dynamic mechanisms pay for
+		// sites they failed to convert, and the conservative path for
+		// stale code. Traps in stale (invalidated) code still teach the
+		// translator about the site, so the pending retranslation inlines
+		// it instead of rediscovering it one trap at a time.
+		if known && e.Opt.usesExceptionPatching() && ref.b.invalid {
+			e.retained(ref.b.guestPC)[ref.site.instIdx] = true
+		}
+		m.EmulateAccess(inst, ea)
+		return pc + host.InstBytes
+	}
+	b, site := ref.b, ref.site
+	e.event(EvTrap, site.guestPC, pc, fmt.Sprintf("ea=%#x", ea))
+	b.trapCount++
+	b.knownMDA[site.instIdx] = true
+	e.retained(b.guestPC)[site.instIdx] = true
+	m.AddTrapCycles(e.Opt.EHHandlerCycles)
+
+	// Retranslation policy (§IV-C, Fig. 7): too many traps in one block ⇒
+	// discard the translation and restart profiling for it.
+	if e.Opt.Retranslate && b.trapCount >= e.Opt.RetransThreshold {
+		m.EmulateAccess(inst, ea)
+		e.invalidateBlock(b)
+		e.profiles[b.guestPC] = newBlockProfile() // restart dynamic profiling
+		for _, ipc := range b.instPCs {
+			delete(e.siteProf, ipc) // restart the per-site profiles too
+		}
+		e.event(EvRetranslate, b.guestPC, 0, "")
+		e.stats.Retranslations++
+		return pc + host.InstBytes
+	}
+
+	// Code rearrangement (§IV-A, Fig. 6): retranslate the block in place
+	// with the MDA sequence inline, preserving locality, instead of
+	// patching in a branch to a distant stub.
+	if e.Opt.Rearrange {
+		m.EmulateAccess(inst, ea)
+		e.invalidateBlock(b)
+		// Repositioning reuses the block's existing IR and relocates code
+		// (Fig. 6), so it is cheaper than a from-scratch translation:
+		// charge the discounted per-instruction rate for this pass.
+		saved := e.Opt.TranslateCyclesPerInst
+		e.Opt.TranslateCyclesPerInst = e.Opt.RearrangePerInstCycles
+		_, terr := e.ensureTranslated(b.guestPC)
+		e.Opt.TranslateCyclesPerInst = saved
+		if terr == nil {
+			e.event(EvRearrange, b.guestPC, 0, "")
+			e.stats.Rearrangements++
+			m.AddTrapCycles(e.Opt.RearrangeFixedCycles)
+		}
+		return pc + host.InstBytes
+	}
+
+	// Default exception-handling: emit an MDA sequence stub in the code
+	// cache and patch the faulting instruction into a branch to it
+	// (Fig. 5).
+	k, ok := stubKind(inst.Op)
+	if !ok {
+		m.EmulateAccess(inst, ea)
+		return pc + host.InstBytes
+	}
+	stubLen := uint64(mdaSeqLen(k)+1) * host.InstBytes
+	addr, err := e.cc.allocStub(stubLen + 3*host.InstBytes)
+	if err != nil {
+		// Stub zone full: fall back to fixing up every time.
+		m.EmulateAccess(inst, ea)
+		return pc + host.InstBytes
+	}
+	a := host.NewAsm(addr)
+	emitMDA(a, k, inst.Ra, inst.Rb, inst.Disp)
+	a.BrTo(host.BR, host.Zero, pc+host.InstBytes)
+	words, aerr := a.Finish()
+	if aerr != nil {
+		m.EmulateAccess(inst, ea)
+		return pc + host.InstBytes
+	}
+	m.WriteCode(addr, words)
+	d, fits := host.BrDispFor(pc, addr)
+	if !fits {
+		m.EmulateAccess(inst, ea)
+		return pc + host.InstBytes
+	}
+	m.Patch(pc, host.MustEncode(host.Inst{Op: host.BR, Ra: host.Zero, Disp: d}))
+	site.patched[pc] = true
+	e.event(EvPatch, site.guestPC, pc, fmt.Sprintf("stub=%#x", addr))
+	e.stats.Patches++
+	e.stats.MDAStubs++
+	// Resume at the faulting PC: the freshly patched branch executes and
+	// the MDA sequence completes the access natively.
+	return pc
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/host"
+)
+
+// DumpBlock renders the translation of the block at guest pc: the guest
+// instructions side by side with the emitted host code, annotated with the
+// per-site policy artifacts (patched branches show up as the patched
+// instruction). It returns an error if the block is not translated.
+func (e *Engine) DumpBlock(pc uint32) (string, error) {
+	b, ok := e.blocks[pc]
+	if !ok {
+		return "", fmt.Errorf("core: block %#x is not translated", pc)
+	}
+	var sb strings.Builder
+	unit := "block"
+	if b.nblocks > 1 {
+		unit = fmt.Sprintf("trace(%d blocks)", b.nblocks)
+	}
+	fmt.Fprintf(&sb, "%s %#x: %d guest insts -> %d host bytes at %#x\n",
+		unit, b.guestPC, len(b.insts), b.hostSize, b.hostEntry)
+	for i, in := range b.insts {
+		gpc := b.instPCs[i]
+		fmt.Fprintf(&sb, "  %#08x  %s\n", gpc, guest.Disasm(gpc, in, b.instLens[i]))
+	}
+	sb.WriteString("host code:\n")
+	for hpc := b.hostEntry; hpc < b.hostEntry+b.hostSize; hpc += host.InstBytes {
+		w := e.Mem.Read32(hpc)
+		marker := " "
+		if ref, ok := e.sites[hpc]; ok && ref.site.patched[hpc] {
+			marker = "*" // patched by the exception handler
+		}
+		fmt.Fprintf(&sb, " %s%#010x  %s\n", marker, hpc, host.DisasmWord(hpc, w))
+	}
+	return sb.String(), nil
+}
+
+// DumpStats renders a human-readable statistics summary.
+func (e *Engine) DumpStats() string {
+	s := e.stats
+	c := e.Mach.Counters()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles=%d insts=%d traps=%d trap-cycles=%d\n",
+		c.Cycles, c.Insts, c.MisalignTraps, c.TrapCycles)
+	fmt.Fprintf(&sb, "translated=%d retrans=%d rearranged=%d multi-version=%d adaptive=%d/%d\n",
+		s.BlocksTranslated, s.Retranslations, s.Rearrangements, s.MultiVersion,
+		s.AdaptiveSites, s.AdaptiveReverts)
+	fmt.Fprintf(&sb, "patches=%d stubs=%d links=%d flushes=%d interp-insts=%d\n",
+		s.Patches, s.MDAStubs, s.Links, s.Flushes, s.InterpretedInsts)
+	fmt.Fprintf(&sb, "code-cache=%dB blocks=%d\n", e.cc.used(), len(e.blocks))
+	return sb.String()
+}
+
+// TranslatedPCs lists the guest PCs with live translations, sorted.
+func (e *Engine) TranslatedPCs() []uint32 {
+	pcs := make([]uint32, 0, len(e.blocks))
+	for pc := range e.blocks {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}

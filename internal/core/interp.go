@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/mem"
+)
+
+// decEntry caches a decoded guest instruction for the interpreter.
+type decEntry struct {
+	inst guest.Inst
+	len  int
+}
+
+// interpretBlock interprets one execution of the basic block starting at
+// pc: it steps the reference CPU until a block-ending instruction has
+// executed (or the block-length cap is hit), collecting the MDA profile and
+// charging interpreter cycles. It returns the guest PC after the block.
+func (e *Engine) interpretBlock(pc uint32) (uint32, error) {
+	e.CPU.EIP = pc
+	for n := 0; n < maxBlockInsts; n++ {
+		cur := e.CPU.EIP
+		de, ok := e.decoded[cur]
+		if !ok {
+			var buf [guest.MaxInstLen]byte
+			e.Mem.ReadBytes(uint64(cur), buf[:])
+			inst, ln, err := guest.Decode(buf[:])
+			if err != nil {
+				return 0, fmt.Errorf("core: interpret at %#x: %w", cur, err)
+			}
+			de = decEntry{inst: inst, len: ln}
+			e.decoded[cur] = de
+		}
+		info, err := e.CPU.Exec(e.Mem, cur, de.inst, de.len)
+		if err != nil {
+			return 0, err
+		}
+		e.stats.InterpretedInsts++
+		e.Mach.AddCycles(e.Opt.InterpCyclesPerInst)
+		if info.IsMem && info.Size > 1 {
+			s := e.siteProfile(cur)
+			if info.MDA {
+				s.mda++
+				e.stats.InterpretedMDAs++
+			} else {
+				s.aligned++
+			}
+		}
+		if info.IsMem2 {
+			s := e.siteProfile(cur)
+			if info.MDA2 {
+				s.mda++
+				e.stats.InterpretedMDAs++
+			} else {
+				s.aligned++
+			}
+		}
+		if e.CPU.Halted {
+			e.halted = true
+			return e.CPU.EIP, nil
+		}
+		if de.inst.Op.EndsBlock() {
+			break
+		}
+	}
+	return e.CPU.EIP, nil
+}
+
+// siteProfile returns (creating if needed) the alignment profile for the
+// instruction at pc.
+func (e *Engine) siteProfile(pc uint32) *siteProfile {
+	s := e.siteProf[pc]
+	if s == nil {
+		s = &siteProfile{}
+		e.siteProf[pc] = s
+	}
+	return s
+}
+
+// profile returns (creating if needed) the block profile for pc.
+func (e *Engine) profile(pc uint32) *blockProfile {
+	p := e.profiles[pc]
+	if p == nil {
+		p = newBlockProfile()
+		e.profiles[pc] = p
+	}
+	return p
+}
+
+// CensusSite is one static memory instruction's alignment census.
+type CensusSite struct {
+	PC      uint32
+	MDA     uint64
+	Aligned uint64
+}
+
+// Census is a pure-interpretation measurement of a guest program: the data
+// behind Table I (NMI, MDA counts, MDA ratio) and Figure 15 (per-site
+// misalignment ratio classes). No host machine is involved.
+type Census struct {
+	Insts    uint64 // guest instructions executed
+	MemRefs  uint64 // data memory accesses (all sizes)
+	MDAs     uint64 // misaligned accesses
+	Sites    map[uint32]*CensusSite
+	Halted   bool
+	FinalCPU guest.CPU
+}
+
+// NMI returns the number of distinct static instructions that performed at
+// least one MDA (Table I's NMI column).
+func (c *Census) NMI() int {
+	n := 0
+	for _, s := range c.Sites {
+		if s.MDA > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Ratio returns MDAs / memory references (Table I's Ratio column).
+func (c *Census) Ratio() float64 {
+	if c.MemRefs == 0 {
+		return 0
+	}
+	return float64(c.MDAs) / float64(c.MemRefs)
+}
+
+// RatioClasses buckets MDA sites by per-site misalignment ratio, matching
+// Figure 15's categories. The four counts are sites with ratio <50%, =50%,
+// >50% (but below 100%), and =100%.
+func (c *Census) RatioClasses() (lt, eq, gt, always int) {
+	for _, s := range c.Sites {
+		if s.MDA == 0 {
+			continue
+		}
+		total := s.MDA + s.Aligned
+		switch {
+		case s.Aligned == 0:
+			always++
+		case s.MDA*2 == total:
+			eq++
+		case s.MDA*2 < total:
+			lt++
+		default:
+			gt++
+		}
+	}
+	return lt, eq, gt, always
+}
+
+// RunCensus interprets the program at entry until HALT (or maxInsts) and
+// returns its alignment census.
+func RunCensus(m *mem.Memory, entry uint32, maxInsts uint64) (*Census, error) {
+	cpu := &guest.CPU{}
+	cpu.Reset(entry)
+	c := &Census{Sites: make(map[uint32]*CensusSite)}
+	decoded := make(map[uint32]decEntry)
+	for c.Insts < maxInsts && !cpu.Halted {
+		pc := cpu.EIP
+		de, ok := decoded[pc]
+		if !ok {
+			var buf [guest.MaxInstLen]byte
+			m.ReadBytes(uint64(pc), buf[:])
+			inst, n, err := guest.Decode(buf[:])
+			if err != nil {
+				return nil, fmt.Errorf("core: census at %#x: %w", pc, err)
+			}
+			de = decEntry{inst: inst, len: n}
+			decoded[pc] = de
+		}
+		info, err := cpu.Exec(m, pc, de.inst, de.len)
+		if err != nil {
+			return nil, err
+		}
+		c.Insts++
+		record := func(isMem bool, size int, mda bool) {
+			if !isMem {
+				return
+			}
+			c.MemRefs++
+			if size <= 1 {
+				return
+			}
+			s := c.Sites[pc]
+			if s == nil {
+				s = &CensusSite{PC: pc}
+				c.Sites[pc] = s
+			}
+			if mda {
+				s.MDA++
+				c.MDAs++
+			} else {
+				s.Aligned++
+			}
+		}
+		record(info.IsMem, info.Size, info.MDA)
+		record(info.IsMem2, info.Size2, info.MDA2)
+	}
+	c.Halted = cpu.Halted
+	c.FinalCPU = *cpu
+	return c, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"mdabt/internal/host"
+)
+
+// This file emits the two code shapes a memory operation can translate to:
+// a plain (trap-prone) host memory instruction, and the Alpha "MDA code
+// sequence" built from LDQ_U/STQ_U and the EXT/INS/MSK families (paper
+// §III-A, Fig. 2 for loads; the classic handbook sequence for stores).
+// Both the translator and the misalignment exception handler use these.
+
+// kindInfo describes the host code shape for a memKind.
+func (k memKind) size() int {
+	switch k {
+	case kindLD2Z, kindLD2S, kindST2:
+		return 2
+	case kindFLD8, kindFST8:
+		return 8
+	default:
+		return 4
+	}
+}
+
+func (k memKind) isStore() bool {
+	switch k {
+	case kindST2, kindST4, kindFST8:
+		return true
+	}
+	return false
+}
+
+// plainMemOp returns the host opcode of the plain translation of k.
+func plainMemOp(k memKind) host.Op {
+	switch k {
+	case kindLD4:
+		return host.LDL
+	case kindLD2Z, kindLD2S:
+		return host.LDWU
+	case kindST4:
+		return host.STL
+	case kindST2:
+		return host.STW
+	case kindFLD8:
+		return host.LDQ
+	case kindFST8:
+		return host.STQ
+	}
+	panic(fmt.Sprintf("core: plainMemOp: bad kind %d", k))
+}
+
+// emitPlain emits the plain translation of kind: the single trap-prone
+// memory instruction plus any extension fixup. It returns the address of
+// the memory instruction itself (the patchable/faulting one).
+func emitPlain(a *host.Asm, k memKind, data host.Reg, base host.Reg, disp int32) uint64 {
+	memPC := a.PC()
+	a.Mem(plainMemOp(k), data, disp, base)
+	if k == kindLD2S {
+		// LDWU zero-extends; sign-extend 16→64.
+		a.OprLit(host.SLL, data, 48, data)
+		a.OprLit(host.SRA, data, 48, data)
+	}
+	return memPC
+}
+
+// extOps returns the low/high extract opcodes for an access size.
+func extOps(size int) (lo, hi host.Op) {
+	switch size {
+	case 2:
+		return host.EXTWL, host.EXTWH
+	case 4:
+		return host.EXTLL, host.EXTLH
+	case 8:
+		return host.EXTQL, host.EXTQH
+	}
+	panic(fmt.Sprintf("core: extOps: bad size %d", size))
+}
+
+// insMskOps returns the insert/mask opcodes for an access size.
+func insMskOps(size int) (insL, insH, mskL, mskH host.Op) {
+	switch size {
+	case 2:
+		return host.INSWL, host.INSWH, host.MSKWL, host.MSKWH
+	case 4:
+		return host.INSLL, host.INSLH, host.MSKLL, host.MSKLH
+	case 8:
+		return host.INSQL, host.INSQH, host.MSKQL, host.MSKQH
+	}
+	panic(fmt.Sprintf("core: insMskOps: bad size %d", size))
+}
+
+// emitMDALoad emits the misalignment-safe load sequence (paper Fig. 2).
+// base+disp is the effective address; disp+size-1 must fit the 16-bit
+// memory displacement (the addressing helper guarantees it).
+func emitMDALoad(a *host.Asm, k memKind, data host.Reg, base host.Reg, disp int32) {
+	size := k.size()
+	lo, hi := extOps(size)
+	a.Mem(host.LDQU, tmpD, disp, base)               // low quadword
+	a.Mem(host.LDQU, tmpC, disp+int32(size)-1, base) // high quadword
+	a.Mem(host.LDA, tmpEA, disp, base)               // effective address
+	a.Opr(lo, tmpD, tmpEA, tmpD)
+	a.Opr(hi, tmpC, tmpEA, tmpC)
+	a.Opr(host.BIS, tmpC, tmpD, data)
+	switch k {
+	case kindLD4:
+		a.Opr(host.ADDL, host.Zero, data, data) // sign-extend longword
+	case kindLD2S:
+		a.OprLit(host.SLL, data, 48, data)
+		a.OprLit(host.SRA, data, 48, data)
+	}
+}
+
+// emitMDAStore emits the misalignment-safe store sequence: read-merge-write
+// of the covering quadwords, high quadword stored first so the aliased
+// (aligned) case resolves to the complete low merge.
+func emitMDAStore(a *host.Asm, k memKind, data host.Reg, base host.Reg, disp int32) {
+	size := k.size()
+	insL, insH, mskL, mskH := insMskOps(size)
+	hiDisp := disp + int32(size) - 1
+	a.Mem(host.LDA, tmpEA, disp, base)
+	a.Mem(host.LDQU, tmpC, hiDisp, base) // high quadword
+	a.Mem(host.LDQU, tmpD, disp, base)   // low quadword
+	a.Opr(insH, data, tmpEA, tmpA)
+	a.Opr(insL, data, tmpEA, tmpB)
+	a.Opr(mskH, tmpC, tmpEA, tmpC)
+	a.Opr(mskL, tmpD, tmpEA, tmpD)
+	a.Opr(host.BIS, tmpC, tmpA, tmpC)
+	a.Opr(host.BIS, tmpD, tmpB, tmpD)
+	a.Mem(host.STQU, tmpC, hiDisp, base)
+	a.Mem(host.STQU, tmpD, disp, base)
+}
+
+// emitMDA dispatches to the load or store sequence.
+func emitMDA(a *host.Asm, k memKind, data host.Reg, base host.Reg, disp int32) {
+	if k.isStore() {
+		emitMDAStore(a, k, data, base, disp)
+	} else {
+		emitMDALoad(a, k, data, base, disp)
+	}
+}
+
+// mdaSeqLen returns the instruction count of the MDA sequence for kind
+// (used for stub sizing and cost accounting).
+func mdaSeqLen(k memKind) int {
+	if k.isStore() {
+		return 11
+	}
+	switch k {
+	case kindLD4, kindLD2S:
+		return 8 // 6 + sign extension (LD4: 7, LD2S: 8; use the max)
+	default:
+		return 6
+	}
+}

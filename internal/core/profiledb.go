@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mdabt/internal/mem"
+)
+
+// The static-profiling mechanism (FX!32-style, paper §III-B) depends on a
+// profile gathered in a separate training run and persisted between
+// executions — FX!32 kept a profile database on disk for exactly this.
+// ProfileDB is that artifact: the set of guest instruction addresses
+// observed performing misaligned accesses, with their counts, serialized
+// as JSON.
+
+// ProfileEntry is one MDA site in a stored profile.
+type ProfileEntry struct {
+	PC      uint32 `json:"pc"`
+	MDA     uint64 `json:"mda"`
+	Aligned uint64 `json:"aligned"`
+}
+
+// ProfileDB is a persistent misalignment profile.
+type ProfileDB struct {
+	// Program identifies the profiled binary (free-form; the workload
+	// generator uses the benchmark name).
+	Program string         `json:"program"`
+	Input   string         `json:"input"`
+	Sites   []ProfileEntry `json:"sites"`
+}
+
+// NewProfileDB builds a profile database from a census (a training run).
+func NewProfileDB(program, input string, c *Census) *ProfileDB {
+	db := &ProfileDB{Program: program, Input: input}
+	for pc, s := range c.Sites {
+		if s.MDA > 0 {
+			db.Sites = append(db.Sites, ProfileEntry{PC: pc, MDA: s.MDA, Aligned: s.Aligned})
+		}
+	}
+	sort.Slice(db.Sites, func(i, j int) bool { return db.Sites[i].PC < db.Sites[j].PC })
+	return db
+}
+
+// StaticSites converts the profile to the translator's site set
+// (Options.StaticSites).
+func (db *ProfileDB) StaticSites() map[uint32]bool {
+	sites := make(map[uint32]bool, len(db.Sites))
+	for _, s := range db.Sites {
+		sites[s.PC] = true
+	}
+	return sites
+}
+
+// Save writes the profile as JSON.
+func (db *ProfileDB) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(db); err != nil {
+		return fmt.Errorf("core: profile save: %w", err)
+	}
+	return nil
+}
+
+// LoadProfileDB reads a profile written by Save.
+func LoadProfileDB(r io.Reader) (*ProfileDB, error) {
+	var db ProfileDB
+	if err := json.NewDecoder(r).Decode(&db); err != nil {
+		return nil, fmt.Errorf("core: profile load: %w", err)
+	}
+	for i, s := range db.Sites {
+		if s.MDA == 0 {
+			return nil, fmt.Errorf("core: profile load: site %d (pc %#x) has zero MDA count", i, s.PC)
+		}
+	}
+	return &db, nil
+}
+
+// TrainProfile runs the program at entry under the census interpreter (the
+// profiling pre-execution of the paper's Fig. 3) and returns its profile
+// database.
+func TrainProfile(m *mem.Memory, program, input string, entry uint32, maxInsts uint64) (*ProfileDB, error) {
+	c, err := RunCensus(m, entry, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Halted {
+		return nil, fmt.Errorf("core: train profile: program did not halt within %d instructions", maxInsts)
+	}
+	return NewProfileDB(program, input, c), nil
+}

@@ -1,0 +1,301 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI) on the simulated Alpha host: one runner per artifact,
+// sharing a Session that caches workload programs, censuses, and DBT runs
+// across experiments (Figure 16 reuses Figure 11/12's runs, etc.).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mdabt/internal/core"
+	"mdabt/internal/machine"
+	"mdabt/internal/mem"
+	"mdabt/internal/workload"
+)
+
+// Config names one translator configuration under test.
+type Config struct {
+	Mech         core.Mechanism
+	Threshold    uint64 // heating threshold; 0 selects the mechanism default
+	Rearrange    bool
+	Retranslate  bool
+	MultiVersion bool
+	MVBlock      bool // block-granularity multi-version (§IV-D preferred form)
+	Adaptive     bool // §IV-D truly-adaptive sites (extension experiment)
+	NoChain      bool // disable translation chaining (ablation)
+	IBTC         bool // indirect-branch translation cache (ablation)
+	Superblocks  bool // phase-2 trace formation (ablation)
+}
+
+func (c Config) key() string {
+	return fmt.Sprintf("%d/%d/%v%v%v%v%v%v%v%v", c.Mech, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks)
+}
+
+// String names the configuration for reports.
+func (c Config) String() string {
+	s := c.Mech.String()
+	if c.Threshold != 0 {
+		s += fmt.Sprintf("(th=%d)", c.Threshold)
+	}
+	if c.Rearrange {
+		s += "+rearrange"
+	}
+	if c.Retranslate {
+		s += "+retrans"
+	}
+	if c.MultiVersion {
+		s += "+multiver"
+	}
+	if c.Adaptive {
+		s += "+adaptive"
+	}
+	if c.NoChain {
+		s += "+nochain"
+	}
+	if c.IBTC {
+		s += "+ibtc"
+	}
+	if c.Superblocks {
+		s += "+superblocks"
+	}
+	return s
+}
+
+// RunResult is the outcome of one benchmark × configuration execution.
+type RunResult struct {
+	Counters machine.Counters
+	Stats    core.Stats
+}
+
+// Cycles returns the simulated runtime.
+func (r RunResult) Cycles() uint64 { return r.Counters.Cycles }
+
+// Session caches generated programs, censuses and DBT runs. Methods are
+// safe for concurrent use; the experiment runners fan benchmarks out over
+// a worker pool.
+type Session struct {
+	// IterFloor overrides the workload generator's minimum iteration count
+	// (tests use a small value for speed; 0 keeps the default).
+	IterFloor int
+	// Shrink divides each spec's MDA target (≥1; 0 means 1).
+	Shrink float64
+	// Parallelism bounds concurrent benchmark runs (0 = NumCPU).
+	Parallelism int
+	// Budget bounds host instructions per run.
+	Budget uint64
+	// MachineParams overrides the host cost model (nil = machine.DefaultParams).
+	// The sensitivity tests use it to show the paper-shape conclusions are
+	// robust to cost-model changes.
+	MachineParams *machine.Params
+
+	mu     sync.Mutex
+	progs  map[string]*workload.Program
+	cens   map[string]*core.Census
+	runs   map[string]RunResult
+	native map[string]uint64
+}
+
+// NewSession returns a session with full-scale defaults.
+func NewSession() *Session {
+	return &Session{
+		Budget: 2_000_000_000,
+		progs:  make(map[string]*workload.Program),
+		cens:   make(map[string]*core.Census),
+		runs:   make(map[string]RunResult),
+		native: make(map[string]uint64),
+	}
+}
+
+func (s *Session) adjust(spec workload.Spec) workload.Spec {
+	if s.IterFloor > 0 {
+		spec.IterFloor = s.IterFloor
+	}
+	if s.Shrink > 1 {
+		spec.PaperMDAs /= s.Shrink
+	}
+	return spec
+}
+
+// Program returns the (cached) workload for a benchmark. variant selects
+// the default build ("") or an alignment-optimized build ("psc"/"icc",
+// Figure 1's two compilers, differing in padding aggressiveness).
+func (s *Session) Program(name, variant string) (*workload.Program, error) {
+	key := name + "|" + variant
+	s.mu.Lock()
+	p, ok := s.progs[key]
+	s.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	spec, ok2 := workload.SpecByName(name)
+	if !ok2 {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	spec = s.adjust(spec)
+	var err error
+	switch variant {
+	case "":
+		p, err = workload.Generate(spec)
+	case "psc": // pathscale-style: aggressive padding
+		p, err = workload.GenerateAligned(spec, 96)
+	case "icc": // icc-style: tighter padding
+		p, err = workload.GenerateAligned(spec, 80)
+	default:
+		return nil, fmt.Errorf("experiments: unknown variant %q", variant)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.progs[key] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Census returns the (cached) pure-interpretation census of a benchmark
+// under the given input.
+func (s *Session) Census(name string, in workload.Input) (*core.Census, error) {
+	key := fmt.Sprintf("%s|%v", name, in)
+	s.mu.Lock()
+	c, ok := s.cens[key]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	p, err := s.Program(name, "")
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	p.Load(m, in)
+	c, err = core.RunCensus(m, p.Entry(), 300_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: census %s: %w", name, err)
+	}
+	if !c.Halted {
+		return nil, fmt.Errorf("experiments: census %s did not halt", name)
+	}
+	s.mu.Lock()
+	s.cens[key] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// trainSites derives the static (train-input) profile for a benchmark.
+func (s *Session) trainSites(name string) (map[uint32]bool, error) {
+	c, err := s.Census(name, workload.Train)
+	if err != nil {
+		return nil, err
+	}
+	sites := make(map[uint32]bool)
+	for pc, site := range c.Sites {
+		if site.MDA > 0 {
+			sites[pc] = true
+		}
+	}
+	return sites, nil
+}
+
+// Run executes a benchmark (ref input) under cfg on the simulated host,
+// returning cached results on repeat calls.
+func (s *Session) Run(name string, cfg Config) (RunResult, error) {
+	key := name + "|" + cfg.key()
+	s.mu.Lock()
+	r, ok := s.runs[key]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	p, err := s.Program(name, "")
+	if err != nil {
+		return RunResult{}, err
+	}
+	opt := core.DefaultOptions(cfg.Mech)
+	if cfg.Threshold != 0 {
+		opt.HeatThreshold = cfg.Threshold
+	}
+	opt.Rearrange = cfg.Rearrange
+	opt.Retranslate = cfg.Retranslate
+	opt.MultiVersion = cfg.MultiVersion
+	opt.MVBlockGranularity = cfg.MVBlock
+	opt.Adaptive = cfg.Adaptive
+	opt.NoChain = cfg.NoChain
+	opt.IBTC = cfg.IBTC
+	opt.Superblocks = cfg.Superblocks
+	if cfg.Mech == core.StaticProfile {
+		opt.StaticSites, err = s.trainSites(name)
+		if err != nil {
+			return RunResult{}, err
+		}
+	}
+	m := mem.New()
+	p.Load(m, workload.Ref)
+	params := machine.DefaultParams()
+	if s.MachineParams != nil {
+		params = *s.MachineParams
+	}
+	mach := machine.New(m, params)
+	e := core.NewEngine(m, mach, opt)
+	if err := e.Run(p.Entry(), s.Budget); err != nil {
+		return RunResult{}, fmt.Errorf("experiments: %s under %v: %w", name, cfg, err)
+	}
+	r = RunResult{Counters: mach.Counters(), Stats: e.Stats()}
+	s.mu.Lock()
+	s.runs[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// forEach runs fn for every name on a bounded worker pool, preserving
+// per-name error reporting.
+func (s *Session) forEach(names []string, fn func(name string) error) error {
+	par := s.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > len(names) {
+		par = len(names)
+	}
+	if par < 1 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectedNames returns the 21 performance benchmarks in Table I order.
+func selectedNames() []string {
+	var names []string
+	for _, sp := range workload.SelectedSpecs() {
+		names = append(names, sp.Name)
+	}
+	return names
+}
+
+// allNames returns all 54 benchmarks in Table I order.
+func allNames() []string {
+	var names []string
+	for _, sp := range workload.Specs() {
+		names = append(names, sp.Name)
+	}
+	return names
+}

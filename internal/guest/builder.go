@@ -1,0 +1,160 @@
+package guest
+
+import "fmt"
+
+// Builder constructs guest programs programmatically, with label-based
+// control flow. It is the workload generator's code emitter; the text
+// assembler in package guestasm builds on the same Inst representation.
+//
+// Because instruction encodings are variable-length, branch displacements
+// are resolved in a fixup pass after all instruction offsets are known.
+type Builder struct {
+	insts   []Inst
+	lens    []int
+	offs    []uint32 // offset of each instruction from the image base
+	size    uint32
+	labels  map[string]int // label -> instruction index
+	refs    map[int]string // instruction index -> target label
+	absRefs []absRef       // absolute branch targets (cross-image)
+	err     error
+}
+
+// absRef is a branch whose target is an absolute guest address.
+type absRef struct {
+	idx    int
+	target uint32
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int), refs: make(map[int]string)}
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Emit appends one instruction.
+func (b *Builder) Emit(inst Inst) {
+	n, err := EncodedLen(inst)
+	if err != nil {
+		b.fail(err)
+		n = 1
+	}
+	b.insts = append(b.insts, inst)
+	b.lens = append(b.lens, n)
+	b.offs = append(b.offs, b.size)
+	b.size += uint32(n)
+}
+
+// Label defines name at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail(fmt.Errorf("guest: builder: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// emitBranch appends a branch-type instruction targeting label.
+func (b *Builder) emitBranch(inst Inst, label string) {
+	b.refs[len(b.insts)] = label
+	b.Emit(inst)
+}
+
+// Convenience emitters. Each mirrors one guest opcode.
+
+func (b *Builder) Nop()                           { b.Emit(Inst{Op: NOP}) }
+func (b *Builder) Halt()                          { b.Emit(Inst{Op: HALT}) }
+func (b *Builder) MovImm(r Reg, v int32)          { b.Emit(Inst{Op: MOVri, R1: r, Imm: v}) }
+func (b *Builder) Mov(dst, src Reg)               { b.Emit(Inst{Op: MOVrr, R1: dst, R2: src}) }
+func (b *Builder) Lea(dst Reg, m MemRef)          { b.Emit(Inst{Op: LEA, R1: dst, Mem: m}) }
+func (b *Builder) Load(op Op, r Reg, m MemRef)    { b.Emit(Inst{Op: op, R1: r, Mem: m}) }
+func (b *Builder) Store(op Op, m MemRef, r Reg)   { b.Emit(Inst{Op: op, R1: r, Mem: m}) }
+func (b *Builder) FLoad(f FReg, m MemRef)         { b.Emit(Inst{Op: FLD8, FR1: f, Mem: m}) }
+func (b *Builder) FStore(m MemRef, f FReg)        { b.Emit(Inst{Op: FST8, FR1: f, Mem: m}) }
+func (b *Builder) FAdd(dst, src FReg)             { b.Emit(Inst{Op: FADDrr, FR1: dst, FR2: src}) }
+func (b *Builder) FMov(dst, src FReg)             { b.Emit(Inst{Op: FMOVrr, FR1: dst, FR2: src}) }
+func (b *Builder) ALU(op Op, dst, src Reg)        { b.Emit(Inst{Op: op, R1: dst, R2: src}) }
+func (b *Builder) ALUImm(op Op, dst Reg, v int32) { b.Emit(Inst{Op: op, R1: dst, Imm: v}) }
+func (b *Builder) Cmp(a, br Reg)                  { b.Emit(Inst{Op: CMPrr, R1: a, R2: br}) }
+func (b *Builder) CmpImm(a Reg, v int32)          { b.Emit(Inst{Op: CMPri, R1: a, Imm: v}) }
+func (b *Builder) Test(a, bb Reg)                 { b.Emit(Inst{Op: TESTrr, R1: a, R2: bb}) }
+func (b *Builder) Push(r Reg)                     { b.Emit(Inst{Op: PUSH, R1: r}) }
+func (b *Builder) Pop(r Reg)                      { b.Emit(Inst{Op: POP, R1: r}) }
+func (b *Builder) Ret()                           { b.Emit(Inst{Op: RET}) }
+func (b *Builder) Jmp(label string)               { b.emitBranch(Inst{Op: JMP}, label) }
+func (b *Builder) Jcc(c Cond, label string)       { b.emitBranch(Inst{Op: JCC, Cond: c}, label) }
+func (b *Builder) Call(label string)              { b.emitBranch(Inst{Op: CALL}, label) }
+
+// CallAbs emits a call to an absolute guest address (e.g. a function in a
+// separately loaded "shared library" image). The relative displacement is
+// resolved against the image base passed to Build.
+func (b *Builder) CallAbs(target uint32) {
+	b.absRefs = append(b.absRefs, absRef{idx: len(b.insts), target: target})
+	b.Emit(Inst{Op: CALL})
+}
+
+// JmpAbs emits a jump to an absolute guest address.
+func (b *Builder) JmpAbs(target uint32) {
+	b.absRefs = append(b.absRefs, absRef{idx: len(b.insts), target: target})
+	b.Emit(Inst{Op: JMP})
+}
+
+// LabelAddr returns the image-relative offset of a defined label, for
+// callers that need absolute guest addresses after Build.
+func (b *Builder) LabelAddr(name string) (uint32, bool) {
+	idx, ok := b.labels[name]
+	if !ok {
+		return 0, false
+	}
+	if idx == len(b.insts) {
+		return b.size, true
+	}
+	return b.offs[idx], true
+}
+
+// Size returns the current encoded size of the program.
+func (b *Builder) Size() uint32 { return b.size }
+
+// Build resolves branch targets and encodes the program for loading at
+// base.
+func (b *Builder) Build(base uint32) ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, ar := range b.absRefs {
+		// Rel is relative to the end of the instruction, whose absolute
+		// address is base + offset.
+		b.insts[ar.idx].Rel = int32(ar.target) - int32(base) - int32(b.offs[ar.idx]) - int32(b.lens[ar.idx])
+	}
+	for idx, label := range b.refs {
+		tgt, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("guest: builder: undefined label %q", label)
+		}
+		var tgtOff uint32
+		if tgt == len(b.insts) {
+			tgtOff = b.size
+		} else {
+			tgtOff = b.offs[tgt]
+		}
+		// Rel is relative to the end of the branch instruction. All branch
+		// encodings use rel32, so lengths do not change during fixup.
+		b.insts[idx].Rel = int32(tgtOff) - int32(b.offs[idx]) - int32(b.lens[idx])
+	}
+	out := make([]byte, 0, b.size)
+	for i, inst := range b.insts {
+		var err error
+		out, err = Encode(out, inst)
+		if err != nil {
+			return nil, fmt.Errorf("guest: builder: instruction %d: %w", i, err)
+		}
+	}
+	if uint32(len(out)) != b.size {
+		return nil, fmt.Errorf("guest: builder: size drift (%d != %d)", len(out), b.size)
+	}
+	return out, nil
+}

@@ -1,0 +1,311 @@
+package guest
+
+import (
+	"fmt"
+
+	"mdabt/internal/mem"
+)
+
+// Standard guest address-space layout. The stack grows down from StackTop;
+// code and data bases mirror a conventional 32-bit ELF process image.
+const (
+	CodeBase  = 0x00400000
+	DataBase  = 0x10000000
+	StackTop  = 0x7FF00000
+	SharedLib = 0x40000000 // "shared library" code region (paper §II)
+)
+
+// CPU is the architectural state of the guest processor plus a reference
+// interpreter for it. It is the semantic ground truth: the binary
+// translator's output is validated against it by co-simulation tests.
+type CPU struct {
+	R   [NumRegs]uint32
+	F   [NumFRegs]uint64
+	EIP uint32
+	// EFLAGS subset.
+	ZF, SF, CF, OF bool
+	Halted         bool
+}
+
+// Reset clears the CPU and sets EIP/ESP for a fresh run.
+func (c *CPU) Reset(entry uint32) {
+	*c = CPU{EIP: entry}
+	c.R[ESP] = StackTop
+}
+
+// StepInfo describes one executed instruction, for profilers and tracers.
+// String-copy steps perform two accesses (a load and a store); the second
+// is reported through the *2 fields.
+type StepInfo struct {
+	PC      uint32 // address of the instruction
+	Inst    Inst
+	Len     int    // encoded length
+	IsMem   bool   // performed a data memory access
+	EA      uint32 // effective address of that access
+	Size    int    // access size in bytes
+	IsStore bool
+	MDA     bool // the access was misaligned (would trap on the host ISA)
+
+	IsMem2   bool // second access of a string-copy step
+	EA2      uint32
+	Size2    int
+	IsStore2 bool
+	MDA2     bool
+}
+
+// EA computes the effective address of a memory operand.
+func (c *CPU) EA(m MemRef) uint32 {
+	ea := c.R[m.Base] + uint32(m.Disp)
+	if m.HasIndex {
+		ea += c.R[m.Index] * uint32(m.Scale)
+	}
+	return ea
+}
+
+// IsMDA reports whether an access of the given size at ea is misaligned
+// (size > 1 and ea not a multiple of size) — the condition that traps on
+// the alignment-restricted host.
+func IsMDA(ea uint32, size int) bool {
+	return size > 1 && ea&uint32(size-1) != 0
+}
+
+func (c *CPU) setZFSF(v uint32) {
+	c.ZF = v == 0
+	c.SF = int32(v) < 0
+}
+
+func (c *CPU) setLogicFlags(v uint32) {
+	c.setZFSF(v)
+	c.CF, c.OF = false, false
+}
+
+func (c *CPU) setSubFlags(a, b uint32) uint32 {
+	r := a - b
+	c.setZFSF(r)
+	c.CF = a < b
+	c.OF = (a^b)&(a^r)&0x80000000 != 0
+	return r
+}
+
+func (c *CPU) setAddFlags(a, b uint32) uint32 {
+	r := a + b
+	c.setZFSF(r)
+	c.CF = r < a
+	c.OF = (a^r)&(b^r)&0x80000000 != 0
+	return r
+}
+
+// CondTaken evaluates cond against the current flags.
+func (c *CPU) CondTaken(cond Cond) bool {
+	switch cond {
+	case E:
+		return c.ZF
+	case NE:
+		return !c.ZF
+	case L:
+		return c.SF != c.OF
+	case LE:
+		return c.ZF || c.SF != c.OF
+	case G:
+		return !c.ZF && c.SF == c.OF
+	case GE:
+		return c.SF == c.OF
+	case B:
+		return c.CF
+	case BE:
+		return c.CF || c.ZF
+	case A:
+		return !c.CF && !c.ZF
+	case AE:
+		return !c.CF
+	case S:
+		return c.SF
+	case NS:
+		return !c.SF
+	}
+	panic(fmt.Sprintf("guest: CondTaken: bad condition %d", uint8(cond)))
+}
+
+// Step decodes and executes one instruction from m at EIP.
+func (c *CPU) Step(m *mem.Memory) (StepInfo, error) {
+	if c.Halted {
+		return StepInfo{}, fmt.Errorf("guest: step: CPU halted")
+	}
+	var buf [MaxInstLen]byte
+	m.ReadBytes(uint64(c.EIP), buf[:])
+	inst, n, err := Decode(buf[:])
+	if err != nil {
+		return StepInfo{}, fmt.Errorf("guest: step at %#x: %w", c.EIP, err)
+	}
+	info, err := c.Exec(m, c.EIP, inst, n)
+	return info, err
+}
+
+// Exec executes one already-decoded instruction located at pc with encoded
+// length n. EIP is advanced (or redirected for branches).
+func (c *CPU) Exec(m *mem.Memory, pc uint32, inst Inst, n int) (StepInfo, error) {
+	info := StepInfo{PC: pc, Inst: inst, Len: n}
+	next := pc + uint32(n)
+	c.EIP = next
+
+	access := func(ea uint32, size int, store bool) {
+		info.IsMem = true
+		info.EA = ea
+		info.Size = size
+		info.IsStore = store
+		info.MDA = IsMDA(ea, size)
+	}
+	push := func(v uint32) {
+		c.R[ESP] -= 4
+		access(c.R[ESP], 4, true)
+		m.Write32(uint64(c.R[ESP]), v)
+	}
+	pop := func() uint32 {
+		v := m.Read32(uint64(c.R[ESP]))
+		access(c.R[ESP], 4, false)
+		c.R[ESP] += 4
+		return v
+	}
+
+	switch inst.Op {
+	case NOP:
+	case HALT:
+		c.Halted = true
+	case MOVri:
+		c.R[inst.R1] = uint32(inst.Imm)
+	case MOVrr:
+		c.R[inst.R1] = c.R[inst.R2]
+	case LEA:
+		c.R[inst.R1] = c.EA(inst.Mem)
+
+	case LD4:
+		ea := c.EA(inst.Mem)
+		access(ea, 4, false)
+		c.R[inst.R1] = m.Read32(uint64(ea))
+	case LD2Z:
+		ea := c.EA(inst.Mem)
+		access(ea, 2, false)
+		c.R[inst.R1] = uint32(m.Read16(uint64(ea)))
+	case LD2S:
+		ea := c.EA(inst.Mem)
+		access(ea, 2, false)
+		c.R[inst.R1] = uint32(int32(int16(m.Read16(uint64(ea)))))
+	case LD1Z:
+		ea := c.EA(inst.Mem)
+		access(ea, 1, false)
+		c.R[inst.R1] = uint32(m.Read8(uint64(ea)))
+	case LD1S:
+		ea := c.EA(inst.Mem)
+		access(ea, 1, false)
+		c.R[inst.R1] = uint32(int32(int8(m.Read8(uint64(ea)))))
+	case ST4:
+		ea := c.EA(inst.Mem)
+		access(ea, 4, true)
+		m.Write32(uint64(ea), c.R[inst.R1])
+	case ST2:
+		ea := c.EA(inst.Mem)
+		access(ea, 2, true)
+		m.Write16(uint64(ea), uint16(c.R[inst.R1]))
+	case ST1:
+		ea := c.EA(inst.Mem)
+		access(ea, 1, true)
+		m.Write8(uint64(ea), uint8(c.R[inst.R1]))
+	case FLD8:
+		ea := c.EA(inst.Mem)
+		access(ea, 8, false)
+		c.F[inst.FR1] = m.Read64(uint64(ea))
+	case FST8:
+		ea := c.EA(inst.Mem)
+		access(ea, 8, true)
+		m.Write64(uint64(ea), c.F[inst.FR1])
+
+	case ADDrr:
+		c.R[inst.R1] = c.setAddFlags(c.R[inst.R1], c.R[inst.R2])
+	case ADDri:
+		c.R[inst.R1] = c.setAddFlags(c.R[inst.R1], uint32(inst.Imm))
+	case SUBrr:
+		c.R[inst.R1] = c.setSubFlags(c.R[inst.R1], c.R[inst.R2])
+	case SUBri:
+		c.R[inst.R1] = c.setSubFlags(c.R[inst.R1], uint32(inst.Imm))
+	case ANDrr:
+		c.R[inst.R1] &= c.R[inst.R2]
+		c.setLogicFlags(c.R[inst.R1])
+	case ANDri:
+		c.R[inst.R1] &= uint32(inst.Imm)
+		c.setLogicFlags(c.R[inst.R1])
+	case ORrr:
+		c.R[inst.R1] |= c.R[inst.R2]
+		c.setLogicFlags(c.R[inst.R1])
+	case ORri:
+		c.R[inst.R1] |= uint32(inst.Imm)
+		c.setLogicFlags(c.R[inst.R1])
+	case XORrr:
+		c.R[inst.R1] ^= c.R[inst.R2]
+		c.setLogicFlags(c.R[inst.R1])
+	case XORri:
+		c.R[inst.R1] ^= uint32(inst.Imm)
+		c.setLogicFlags(c.R[inst.R1])
+	case IMULrr:
+		c.R[inst.R1] *= c.R[inst.R2]
+	case IMULri:
+		c.R[inst.R1] *= uint32(inst.Imm)
+	case CMPrr:
+		c.setSubFlags(c.R[inst.R1], c.R[inst.R2])
+	case CMPri:
+		c.setSubFlags(c.R[inst.R1], uint32(inst.Imm))
+	case TESTrr:
+		c.setLogicFlags(c.R[inst.R1] & c.R[inst.R2])
+	case SHLri:
+		c.R[inst.R1] <<= uint32(inst.Imm) & 31
+	case SHRri:
+		c.R[inst.R1] >>= uint32(inst.Imm) & 31
+	case SARri:
+		c.R[inst.R1] = uint32(int32(c.R[inst.R1]) >> (uint32(inst.Imm) & 31))
+	case FADDrr:
+		c.F[inst.FR1] += c.F[inst.FR2]
+	case FMOVrr:
+		c.F[inst.FR1] = c.F[inst.FR2]
+
+	case REPMOVS4:
+		// One architectural step: copy a single dword, or fall through when
+		// the count is exhausted. EIP stays on the instruction while work
+		// remains, so the instruction re-executes (interruptible REP).
+		if c.R[ECX] == 0 {
+			break
+		}
+		src, dst := c.R[ESI], c.R[EDI]
+		access(src, 4, false)
+		info.IsMem2 = true
+		info.EA2 = dst
+		info.Size2 = 4
+		info.IsStore2 = true
+		info.MDA2 = IsMDA(dst, 4)
+		m.Write32(uint64(dst), m.Read32(uint64(src)))
+		c.R[ESI] += 4
+		c.R[EDI] += 4
+		c.R[ECX]--
+		if c.R[ECX] != 0 {
+			c.EIP = pc // re-execute
+		}
+
+	case JMP:
+		c.EIP = next + uint32(inst.Rel)
+	case JCC:
+		if c.CondTaken(inst.Cond) {
+			c.EIP = next + uint32(inst.Rel)
+		}
+	case CALL:
+		push(next)
+		c.EIP = next + uint32(inst.Rel)
+	case RET:
+		c.EIP = pop()
+	case PUSH:
+		push(c.R[inst.R1])
+	case POP:
+		c.R[inst.R1] = pop()
+
+	default:
+		return info, fmt.Errorf("guest: exec: unhandled op %v", inst.Op)
+	}
+	return info, nil
+}

@@ -1,0 +1,519 @@
+// Package guestasm assembles textual guest (x86-like) assembly into a
+// loadable image. The accepted syntax is the Intel-flavored form the guest
+// disassembler emits, so disassemble→assemble round-trips:
+//
+//	; comment
+//	start:
+//	        mov     ebx, 0x10000000
+//	loop:   mov     eax, dword [ebx+esi*4+2]
+//	        movzx   edx, word [ebx+6]
+//	        fld     f0, qword [ebp]
+//	        add     eax, edx
+//	        cmp     eax, 100
+//	        jl      loop
+//	        call    helper
+//	        halt
+//
+// Numbers may be decimal, hexadecimal (0x…) or negative. Labels are
+// case-sensitive identifiers followed by ':'; instruction mnemonics and
+// register names are case-insensitive.
+package guestasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mdabt/internal/guest"
+)
+
+// Error is a positioned assembly error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("guestasm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates source into a guest image loadable at base.
+func Assemble(src string, base uint32) ([]byte, error) {
+	b := guest.NewBuilder()
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.IndexByte(line, ';'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (possibly several).
+		for {
+			idx := strings.IndexByte(line, ':')
+			if idx < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:idx])
+			if !isIdent(label) {
+				return nil, &Error{i + 1, fmt.Sprintf("invalid label %q", label)}
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseInst(b, line); err != nil {
+			return nil, &Error{i + 1, err.Error()}
+		}
+	}
+	img, err := b.Build(base)
+	if err != nil {
+		return nil, fmt.Errorf("guestasm: %w", err)
+	}
+	return img, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// operand is a parsed instruction operand.
+type operand struct {
+	kind  opKind
+	reg   guest.Reg
+	freg  guest.FReg
+	imm   int32
+	mem   guest.MemRef
+	size  int // memory operand size (0 = unsized)
+	label string
+}
+
+type opKind uint8
+
+const (
+	opReg opKind = iota
+	opFReg
+	opImm
+	opMem
+	opLabel
+)
+
+var regNames = map[string]guest.Reg{
+	"eax": guest.EAX, "ecx": guest.ECX, "edx": guest.EDX, "ebx": guest.EBX,
+	"esp": guest.ESP, "ebp": guest.EBP, "esi": guest.ESI, "edi": guest.EDI,
+}
+
+var fregNames = map[string]guest.FReg{
+	"f0": guest.F0, "f1": guest.F1, "f2": guest.F2, "f3": guest.F3,
+}
+
+var sizeNames = map[string]int{"byte": 1, "word": 2, "dword": 4, "qword": 8}
+
+// splitOperands splits on top-level commas (none occur inside brackets in
+// this syntax, but be safe).
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseNumber(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "+"), 0, 33)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	n := int64(v)
+	if neg {
+		n = -n
+	}
+	if n < -(1<<31) || n > 1<<32-1 {
+		return 0, fmt.Errorf("number %q out of 32-bit range", s)
+	}
+	return n, nil
+}
+
+// parseMem parses "[base]", "[base+disp]", "[base+index*scale+disp]" etc.
+func parseMem(s string) (guest.MemRef, error) {
+	inner := strings.TrimSpace(s)
+	if !strings.HasPrefix(inner, "[") || !strings.HasSuffix(inner, "]") {
+		return guest.MemRef{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner = inner[1 : len(inner)-1]
+	// Tokenize into +/- separated terms.
+	var terms []string
+	cur := strings.Builder{}
+	for i, r := range inner {
+		if (r == '+' || r == '-') && i > 0 {
+			terms = append(terms, strings.TrimSpace(cur.String()))
+			cur.Reset()
+			if r == '-' {
+				cur.WriteByte('-')
+			}
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	terms = append(terms, strings.TrimSpace(cur.String()))
+
+	var m guest.MemRef
+	haveBase := false
+	for _, t := range terms {
+		tl := strings.ToLower(t)
+		switch {
+		case tl == "":
+			return guest.MemRef{}, fmt.Errorf("empty term in %q", s)
+		case strings.Contains(tl, "*"):
+			parts := strings.SplitN(tl, "*", 2)
+			r, ok := regNames[strings.TrimSpace(parts[0])]
+			if !ok {
+				return guest.MemRef{}, fmt.Errorf("bad index register in %q", s)
+			}
+			sc, err := parseNumber(strings.TrimSpace(parts[1]))
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return guest.MemRef{}, fmt.Errorf("bad scale in %q", s)
+			}
+			if m.HasIndex {
+				return guest.MemRef{}, fmt.Errorf("two index terms in %q", s)
+			}
+			m.HasIndex = true
+			m.Index = r
+			m.Scale = uint8(sc)
+		default:
+			if r, ok := regNames[tl]; ok {
+				if !haveBase {
+					m.Base = r
+					haveBase = true
+				} else if !m.HasIndex {
+					m.HasIndex = true
+					m.Index = r
+					m.Scale = 1
+				} else {
+					return guest.MemRef{}, fmt.Errorf("too many registers in %q", s)
+				}
+				continue
+			}
+			n, err := parseNumber(tl)
+			if err != nil {
+				return guest.MemRef{}, err
+			}
+			m.Disp += int32(n)
+		}
+	}
+	if !haveBase {
+		return guest.MemRef{}, fmt.Errorf("memory operand %q needs a base register", s)
+	}
+	return m, nil
+}
+
+func parseOperand(s string) (operand, error) {
+	sl := strings.ToLower(s)
+	// Optional size prefix before a memory operand.
+	for name, size := range sizeNames {
+		if strings.HasPrefix(sl, name+" ") || strings.HasPrefix(sl, name+"[") {
+			rest := strings.TrimSpace(s[len(name):])
+			m, err := parseMem(rest)
+			if err != nil {
+				return operand{}, err
+			}
+			return operand{kind: opMem, mem: m, size: size}, nil
+		}
+	}
+	if strings.HasPrefix(sl, "[") {
+		m, err := parseMem(s)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: opMem, mem: m}, nil
+	}
+	if r, ok := regNames[sl]; ok {
+		return operand{kind: opReg, reg: r}, nil
+	}
+	if f, ok := fregNames[sl]; ok {
+		return operand{kind: opFReg, freg: f}, nil
+	}
+	if n, err := parseNumber(sl); err == nil {
+		return operand{kind: opImm, imm: int32(n)}, nil
+	}
+	if isIdent(s) {
+		return operand{kind: opLabel, label: s}, nil
+	}
+	return operand{}, fmt.Errorf("bad operand %q", s)
+}
+
+var condByName = map[string]guest.Cond{
+	"e": guest.E, "z": guest.E, "ne": guest.NE, "nz": guest.NE,
+	"l": guest.L, "le": guest.LE, "g": guest.G, "ge": guest.GE,
+	"b": guest.B, "be": guest.BE, "a": guest.A, "ae": guest.AE,
+	"s": guest.S, "ns": guest.NS,
+}
+
+var aluRR = map[string]guest.Op{
+	"add": guest.ADDrr, "sub": guest.SUBrr, "and": guest.ANDrr,
+	"or": guest.ORrr, "xor": guest.XORrr, "imul": guest.IMULrr,
+	"cmp": guest.CMPrr, "test": guest.TESTrr,
+}
+
+var aluRI = map[string]guest.Op{
+	"add": guest.ADDri, "sub": guest.SUBri, "and": guest.ANDri,
+	"or": guest.ORri, "xor": guest.XORri, "imul": guest.IMULri,
+	"cmp": guest.CMPri, "shl": guest.SHLri, "shr": guest.SHRri, "sar": guest.SARri,
+}
+
+func parseInst(b *guest.Builder, line string) error {
+	mn := line
+	rest := ""
+	if idx := strings.IndexAny(line, " \t"); idx >= 0 {
+		mn, rest = line[:idx], strings.TrimSpace(line[idx+1:])
+	}
+	mn = strings.ToLower(mn)
+	rawOps := splitOperands(rest)
+	ops := make([]operand, len(rawOps))
+	for i, ro := range rawOps {
+		var err error
+		ops[i], err = parseOperand(ro)
+		if err != nil {
+			return err
+		}
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+
+	switch mn {
+	case "rep":
+		if !strings.EqualFold(strings.TrimSpace(rest), "movsd") {
+			return fmt.Errorf("rep expects 'movsd'")
+		}
+		b.Emit(guest.Inst{Op: guest.REPMOVS4})
+	case "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Nop()
+	case "halt":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Halt()
+	case "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Ret()
+	case "push", "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		if ops[0].kind != opReg {
+			return fmt.Errorf("%s expects a register", mn)
+		}
+		if mn == "push" {
+			b.Push(ops[0].reg)
+		} else {
+			b.Pop(ops[0].reg)
+		}
+	case "jmp", "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		if ops[0].kind != opLabel {
+			return fmt.Errorf("%s expects a label", mn)
+		}
+		if mn == "jmp" {
+			b.Jmp(ops[0].label)
+		} else {
+			b.Call(ops[0].label)
+		}
+	case "lea":
+		if err := need(2); err != nil {
+			return err
+		}
+		if ops[0].kind != opReg || ops[1].kind != opMem {
+			return fmt.Errorf("lea expects reg, mem")
+		}
+		b.Lea(ops[0].reg, ops[1].mem)
+	case "mov":
+		return parseMov(b, ops)
+	case "movzx", "movsx":
+		if err := need(2); err != nil {
+			return err
+		}
+		if ops[0].kind != opReg || ops[1].kind != opMem {
+			return fmt.Errorf("%s expects reg, mem", mn)
+		}
+		signed := mn == "movsx"
+		switch ops[1].size {
+		case 1:
+			if signed {
+				b.Load(guest.LD1S, ops[0].reg, ops[1].mem)
+			} else {
+				b.Load(guest.LD1Z, ops[0].reg, ops[1].mem)
+			}
+		case 2:
+			if signed {
+				b.Load(guest.LD2S, ops[0].reg, ops[1].mem)
+			} else {
+				b.Load(guest.LD2Z, ops[0].reg, ops[1].mem)
+			}
+		default:
+			return fmt.Errorf("%s requires byte or word memory operand", mn)
+		}
+	case "fld", "fst":
+		if err := need(2); err != nil {
+			return err
+		}
+		if mn == "fld" {
+			if ops[0].kind != opFReg || ops[1].kind != opMem || ops[1].size != 8 {
+				return fmt.Errorf("fld expects freg, qword mem")
+			}
+			b.FLoad(ops[0].freg, ops[1].mem)
+		} else {
+			if ops[0].kind != opMem || ops[0].size != 8 || ops[1].kind != opFReg {
+				return fmt.Errorf("fst expects qword mem, freg")
+			}
+			b.FStore(ops[0].mem, ops[1].freg)
+		}
+	case "fadd", "fmov":
+		if err := need(2); err != nil {
+			return err
+		}
+		if ops[0].kind != opFReg || ops[1].kind != opFReg {
+			return fmt.Errorf("%s expects two f-registers", mn)
+		}
+		if mn == "fadd" {
+			b.FAdd(ops[0].freg, ops[1].freg)
+		} else {
+			b.FMov(ops[0].freg, ops[1].freg)
+		}
+	default:
+		if strings.HasPrefix(mn, "j") {
+			if cond, ok := condByName[mn[1:]]; ok {
+				if err := need(1); err != nil {
+					return err
+				}
+				if ops[0].kind != opLabel {
+					return fmt.Errorf("%s expects a label", mn)
+				}
+				b.Jcc(cond, ops[0].label)
+				return nil
+			}
+		}
+		if err := parseALU(b, mn, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseALU(b *guest.Builder, mn string, ops []operand) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("unknown instruction %q", mn)
+	}
+	if ops[0].kind == opReg && ops[1].kind == opReg {
+		op, ok := aluRR[mn]
+		if !ok {
+			return fmt.Errorf("unknown instruction %q", mn)
+		}
+		b.ALU(op, ops[0].reg, ops[1].reg)
+		return nil
+	}
+	if ops[0].kind == opReg && ops[1].kind == opImm {
+		op, ok := aluRI[mn]
+		if !ok {
+			return fmt.Errorf("unknown instruction %q", mn)
+		}
+		b.ALUImm(op, ops[0].reg, ops[1].imm)
+		return nil
+	}
+	return fmt.Errorf("%s: unsupported operand combination", mn)
+}
+
+func parseMov(b *guest.Builder, ops []operand) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("mov expects 2 operands")
+	}
+	switch {
+	case ops[0].kind == opReg && ops[1].kind == opImm:
+		b.MovImm(ops[0].reg, ops[1].imm)
+	case ops[0].kind == opReg && ops[1].kind == opReg:
+		b.Mov(ops[0].reg, ops[1].reg)
+	case ops[0].kind == opReg && ops[1].kind == opMem:
+		switch ops[1].size {
+		case 0, 4:
+			b.Load(guest.LD4, ops[0].reg, ops[1].mem)
+		default:
+			return fmt.Errorf("mov reg, mem requires a dword operand (use movzx/movsx)")
+		}
+	case ops[0].kind == opMem && ops[1].kind == opReg:
+		switch ops[0].size {
+		case 0, 4:
+			b.Store(guest.ST4, ops[0].mem, ops[1].reg)
+		case 2:
+			b.Store(guest.ST2, ops[0].mem, ops[1].reg)
+		case 1:
+			b.Store(guest.ST1, ops[0].mem, ops[1].reg)
+		default:
+			return fmt.Errorf("bad store size %d", ops[0].size)
+		}
+	default:
+		return fmt.Errorf("mov: unsupported operand combination")
+	}
+	return nil
+}
+
+// DisasmImage renders a loaded image as assembly text, one instruction per
+// line with addresses — the inverse convenience for cmd/guestasm and tests.
+func DisasmImage(img []byte, base uint32) (string, error) {
+	var sb strings.Builder
+	pos := 0
+	for pos < len(img) {
+		inst, n, err := guest.Decode(img[pos:])
+		if err != nil {
+			return "", fmt.Errorf("guestasm: disasm at +%#x: %w", pos, err)
+		}
+		fmt.Fprintf(&sb, "%#08x:\t%s\n", base+uint32(pos), guest.Disasm(base+uint32(pos), inst, n))
+		pos += n
+	}
+	return sb.String(), nil
+}

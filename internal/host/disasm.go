@@ -1,0 +1,37 @@
+package host
+
+import "fmt"
+
+// Disasm renders inst, assumed to be located at pc, in Alpha assembler
+// syntax. Branch targets are shown as absolute addresses.
+func Disasm(pc uint64, i Inst) string {
+	switch FormatOf(i.Op) {
+	case FormatPAL:
+		return fmt.Sprintf("brkbt\t%#x", i.Payload)
+	case FormatMem:
+		return fmt.Sprintf("%s\t%s, %d(%s)", i.Op, i.Ra, i.Disp, i.Rb)
+	case FormatOpr:
+		if i.IsLit {
+			return fmt.Sprintf("%s\t%s, #%d, %s", i.Op, i.Ra, i.Lit, i.Rc)
+		}
+		return fmt.Sprintf("%s\t%s, %s, %s", i.Op, i.Ra, i.Rb, i.Rc)
+	case FormatBra:
+		if i.Op == BR && i.Ra == Zero {
+			return fmt.Sprintf("br\t%#x", i.BranchTarget(pc))
+		}
+		return fmt.Sprintf("%s\t%s, %#x", i.Op, i.Ra, i.BranchTarget(pc))
+	case FormatJmp:
+		return fmt.Sprintf("%s\t%s, (%s)", i.Op, i.Ra, i.Rb)
+	}
+	return fmt.Sprintf("?%v", i.Op)
+}
+
+// DisasmWord decodes and renders a raw instruction word at pc; undecodable
+// words render as .word directives so code-cache dumps never fail.
+func DisasmWord(pc uint64, w uint32) string {
+	i, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word\t%#08x", w)
+	}
+	return Disasm(pc, i)
+}

@@ -1,0 +1,288 @@
+// Package host defines the target ISA of the binary translator: a 64-bit
+// Alpha-like RISC with natural-alignment restrictions on memory accesses.
+//
+// The ISA follows the Alpha AXP architecture closely (the paper's target
+// machine is an Alpha ES40): 32 integer registers with R31 hardwired to
+// zero, fixed 32-bit instruction words in the classic Alpha memory / operate
+// / branch / jump formats, and — critically for this paper — the unaligned
+// access support instructions LDQ_U/STQ_U and the EXT/INS/MSK byte
+// manipulation families used to build the "MDA code sequence" (paper §III-A,
+// Fig. 2). Aligned loads/stores (LDW/LDL/LDQ/STW/STL/STQ) trap when their
+// effective address is not a multiple of the access size; the trap semantics
+// live in package machine.
+//
+// One extension is made for the binary translation runtime: the CALL_PAL
+// slot (opcode 0x00) is repurposed as BRKBT, a "break to binary translator"
+// instruction carrying a 26-bit service payload. The machine simulator
+// suspends simulated execution and calls back into the (Go-level) BT runtime
+// when it executes one — this models the translated code's exits to the
+// DigitalBridge dynamic monitor.
+package host
+
+import "fmt"
+
+// Reg is a host register number, R0..R31. R31 reads as zero and discards
+// writes, as on Alpha.
+type Reg uint8
+
+// Register names follow Alpha conventions where the BT cares about them.
+const (
+	R0 Reg = iota // v0: scratch / return value
+	R1            // guest EAX (paper Fig. 2 register mapping)
+	R2            // guest ECX
+	R3            // guest EDX
+	R4            // guest EBX
+	R5            // guest ESP
+	R6            // guest EBP
+	R7            // guest ESI
+	R8            // guest EDI
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21 // BT temporary (paper: "register 21-30 of Alpha are used as temporal registers")
+	R22 // BT temporary
+	R23 // BT temporary
+	R24 // BT temporary
+	R25 // BT temporary
+	R26 // BT temporary / return address
+	R27 // BT temporary
+	R28 // BT temporary
+	R29 // BT temporary
+	R30 // BT temporary / stack
+	R31 // always zero
+	// NumRegs is the number of architectural integer registers.
+	NumRegs = 32
+	// Zero is the hardwired zero register.
+	Zero = R31
+)
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	if r == R31 {
+		return "zero"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op is a semantic host opcode.
+type Op uint8
+
+// Host opcodes. The comment gives the Alpha mnemonic semantics.
+const (
+	// BRKBT is the runtime-callback instruction (repurposed CALL_PAL).
+	BRKBT Op = iota
+
+	// Memory format: Ra, disp(Rb).
+	LDA  // Ra = Rb + sext(disp)
+	LDAH // Ra = Rb + sext(disp)*65536
+	LDBU // load byte, zero-extend (no alignment restriction)
+	LDWU // load word (2B), zero-extend; traps if EA&1 != 0
+	LDL  // load longword (4B), sign-extend; traps if EA&3 != 0
+	LDQ  // load quadword (8B); traps if EA&7 != 0
+	LDQU // load quadword unaligned: loads 8 bytes at EA&^7, never traps
+	STB  // store byte
+	STW  // store word; traps if EA&1 != 0
+	STL  // store longword; traps if EA&3 != 0
+	STQ  // store quadword; traps if EA&7 != 0
+	STQU // store quadword unaligned: stores 8 bytes at EA&^7, never traps
+
+	// Operate format: Ra, Rb|#lit, Rc.
+	ADDL // Rc = sext32(Ra + Rb)
+	SUBL // Rc = sext32(Ra - Rb)
+	ADDQ // Rc = Ra + Rb
+	SUBQ // Rc = Ra - Rb
+	MULL // Rc = sext32(Ra * Rb)
+	MULQ // Rc = Ra * Rb
+
+	CMPEQ  // Rc = Ra == Rb
+	CMPLT  // signed <
+	CMPLE  // signed <=
+	CMPULT // unsigned <
+	CMPULE // unsigned <=
+
+	AND   // Rc = Ra & Rb
+	BIC   // Rc = Ra &^ Rb
+	BIS   // Rc = Ra | Rb
+	ORNOT // Rc = Ra | ^Rb
+	XOR   // Rc = Ra ^ Rb
+	EQV   // Rc = Ra ^ ^Rb
+
+	SLL // Rc = Ra << (Rb & 63)
+	SRL // Rc = Ra >> (Rb & 63) logical
+	SRA // Rc = Ra >> (Rb & 63) arithmetic
+
+	// Byte-manipulation family used by MDA code sequences (paper Fig. 2/5).
+	EXTBL // extract byte low
+	EXTWL // extract word low
+	EXTLL // extract longword low
+	EXTQL // extract quadword low
+	EXTWH // extract word high
+	EXTLH // extract longword high
+	EXTQH // extract quadword high
+	INSBL // insert byte low
+	INSWL // insert word low
+	INSLL // insert longword low
+	INSQL // insert quadword low
+	INSWH // insert word high
+	INSLH // insert longword high
+	INSQH // insert quadword high
+	MSKBL // mask byte low
+	MSKWL // mask word low
+	MSKLL // mask longword low
+	MSKQL // mask quadword low
+	MSKWH // mask word high
+	MSKLH // mask longword high
+	MSKQH // mask quadword high
+
+	// Branch format: Ra, disp (longword-scaled, PC-relative).
+	BR   // unconditional, Ra = return address
+	BSR  // branch to subroutine, Ra = return address
+	BEQ  // branch if Ra == 0
+	BNE  // branch if Ra != 0
+	BLT  // branch if Ra < 0 (signed)
+	BLE  // branch if Ra <= 0
+	BGT  // branch if Ra > 0
+	BGE  // branch if Ra >= 0
+	BLBC // branch if low bit of Ra clear
+	BLBS // branch if low bit of Ra set
+
+	// Jump format: Ra = retaddr, target = Rb &^ 3.
+	JMP
+	JSR
+	RET
+
+	numOps
+)
+
+var opNames = map[Op]string{
+	BRKBT: "brkbt",
+	LDA:   "lda", LDAH: "ldah",
+	LDBU: "ldbu", LDWU: "ldwu", LDL: "ldl", LDQ: "ldq", LDQU: "ldq_u",
+	STB: "stb", STW: "stw", STL: "stl", STQ: "stq", STQU: "stq_u",
+	ADDL: "addl", SUBL: "subl", ADDQ: "addq", SUBQ: "subq",
+	MULL: "mull", MULQ: "mulq",
+	CMPEQ: "cmpeq", CMPLT: "cmplt", CMPLE: "cmple", CMPULT: "cmpult", CMPULE: "cmpule",
+	AND: "and", BIC: "bic", BIS: "bis", ORNOT: "ornot", XOR: "xor", EQV: "eqv",
+	SLL: "sll", SRL: "srl", SRA: "sra",
+	EXTBL: "extbl", EXTWL: "extwl", EXTLL: "extll", EXTQL: "extql",
+	EXTWH: "extwh", EXTLH: "extlh", EXTQH: "extqh",
+	INSBL: "insbl", INSWL: "inswl", INSLL: "insll", INSQL: "insql",
+	INSWH: "inswh", INSLH: "inslh", INSQH: "insqh",
+	MSKBL: "mskbl", MSKWL: "mskwl", MSKLL: "mskll", MSKQL: "mskql",
+	MSKWH: "mskwh", MSKLH: "msklh", MSKQH: "mskqh",
+	BR: "br", BSR: "bsr",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BLE: "ble", BGT: "bgt", BGE: "bge",
+	BLBC: "blbc", BLBS: "blbs",
+	JMP: "jmp", JSR: "jsr", RET: "ret",
+}
+
+// String returns the Alpha mnemonic for op.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Format classifies the encoding format of an instruction.
+type Format uint8
+
+// Encoding formats.
+const (
+	FormatPAL Format = iota // BRKBT: opcode + 26-bit payload
+	FormatMem               // memory: Ra, disp(Rb)
+	FormatOpr               // operate: Ra, Rb|#lit, Rc
+	FormatBra               // branch: Ra, 21-bit longword displacement
+	FormatJmp               // jump: Ra, (Rb)
+)
+
+// FormatOf returns the encoding format of op.
+func FormatOf(op Op) Format {
+	switch {
+	case op == BRKBT:
+		return FormatPAL
+	case op >= LDA && op <= STQU:
+		return FormatMem
+	case op >= ADDL && op <= MSKQH:
+		return FormatOpr
+	case op >= BR && op <= BLBS:
+		return FormatBra
+	case op >= JMP && op <= RET:
+		return FormatJmp
+	}
+	panic(fmt.Sprintf("host: FormatOf(%d): unknown op", uint8(op)))
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Op) IsLoad() bool { return op >= LDBU && op <= LDQU }
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool { return op >= STB && op <= STQU }
+
+// MemSize returns the access size in bytes of a load/store, or 0.
+func (op Op) MemSize() int {
+	switch op {
+	case LDBU, STB:
+		return 1
+	case LDWU, STW:
+		return 2
+	case LDL, STL:
+		return 4
+	case LDQ, STQ, LDQU, STQU:
+		return 8
+	}
+	return 0
+}
+
+// Aligns reports whether op requires natural alignment (traps otherwise).
+func (op Op) Aligns() bool {
+	switch op {
+	case LDWU, LDL, LDQ, STW, STL, STQ:
+		return true
+	}
+	return false
+}
+
+// Inst is one decoded host instruction.
+type Inst struct {
+	Op      Op
+	Ra, Rb  Reg
+	Rc      Reg
+	Disp    int32  // memory: byte displacement; branch: longword displacement
+	Lit     uint8  // operate-format literal
+	IsLit   bool   // operate format uses Lit instead of Rb
+	Payload uint32 // BRKBT service payload (26 bits)
+}
+
+// InstBytes is the size of every host instruction in bytes.
+const InstBytes = 4
+
+// BranchTarget returns the target address of a branch-format instruction
+// located at pc.
+func (i Inst) BranchTarget(pc uint64) uint64 {
+	return pc + InstBytes + uint64(int64(i.Disp))*InstBytes
+}
+
+// BrDispFor computes the branch-format displacement field value for a branch
+// at pc targeting target. It reports whether the displacement fits in the
+// 21-bit field.
+func BrDispFor(pc, target uint64) (int32, bool) {
+	delta := int64(target) - int64(pc) - InstBytes
+	if delta%InstBytes != 0 {
+		return 0, false
+	}
+	d := delta / InstBytes
+	if d < -(1<<20) || d >= 1<<20 {
+		return 0, false
+	}
+	return int32(d), true
+}

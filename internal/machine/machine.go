@@ -1,0 +1,430 @@
+// Package machine simulates the paper's evaluation hardware: a
+// single-processor Alpha ES40 (paper §V-A). It executes host (Alpha-like)
+// code from simulated memory with a cycle cost model, the ES40 cache
+// hierarchy, precise misaligned-access traps that dispatch to a registered
+// handler, and a code-patching interface with instruction-stream coherence
+// (the decoded-instruction cache is invalidated when code is patched).
+//
+// The simulator is the substitution for real Alpha hardware (see DESIGN.md):
+// every MDA handling mechanism's cost reduces to instructions executed,
+// cache misses, and traps taken, all of which are charged explicitly here.
+package machine
+
+import (
+	"fmt"
+
+	"mdabt/internal/cache"
+	"mdabt/internal/host"
+	"mdabt/internal/mem"
+)
+
+// Params is the cycle cost model. Defaults (DefaultParams) are documented in
+// DESIGN.md §5 and derive from the paper where it gives numbers: the
+// misalignment trap cost of ~1000 cycles comes from §II (refs [15][16]).
+type Params struct {
+	// MisalignTrapCycles is charged for every misaligned-access trap before
+	// the handler runs (kernel entry/exit, context save, dispatch).
+	MisalignTrapCycles uint64
+	// LoadExtraCycles is the additional latency of a load beyond the base
+	// cycle (in-order pipeline load-use approximation).
+	LoadExtraCycles uint64
+	// MulExtraCycles is the additional latency of integer multiply.
+	MulExtraCycles uint64
+	// TakenBranchCycles is the extra cost of a taken branch or jump
+	// (fetch redirect).
+	TakenBranchCycles uint64
+	// BrkCycles is the cost of a BRKBT exit to the BT runtime (register
+	// spill, dispatch into the monitor).
+	BrkCycles uint64
+	// UseCaches enables the ES40 cache hierarchy; when false every access
+	// costs its base latency only (useful for unit tests).
+	UseCaches bool
+	// DualIssueALU models the EV6's multi-issue pipeline cheaply: an
+	// ALU-class instruction (operate format, LDA, LDAH) can issue in the
+	// same cycle as the preceding instruction when that instruction left an
+	// issue slot open (memory and ALU instructions do; branches and BRKBT
+	// do not). This matters to the paper's trade-off — on the 4-wide EV6
+	// the 7–11 instruction MDA sequence costs far fewer than 7–11 cycles
+	// because its EXT/INS/MSK arithmetic issues alongside the loads, while
+	// a misalignment trap costs the full ~1000 cycles regardless.
+	DualIssueALU bool
+}
+
+// DefaultParams returns the ES40-flavored cost model used by all
+// experiments.
+func DefaultParams() Params {
+	return Params{
+		MisalignTrapCycles: 1000,
+		LoadExtraCycles:    2,
+		MulExtraCycles:     7,
+		TakenBranchCycles:  1,
+		BrkCycles:          80,
+		UseCaches:          true,
+		DualIssueALU:       true,
+	}
+}
+
+// Counters accumulates execution statistics.
+type Counters struct {
+	Cycles        uint64 // total cycles charged
+	Insts         uint64 // host instructions retired
+	Loads         uint64
+	Stores        uint64
+	MisalignTraps uint64 // misaligned-access traps taken
+	Brks          uint64 // BRKBT exits to the runtime
+	TrapCycles    uint64 // cycles spent in trap overhead + handlers
+}
+
+// StopReason reports why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopHalt  StopReason = iota // BRKBT with the Halt service
+	StopBrk                     // BRKBT with any other service payload
+	StopLimit                   // instruction budget exhausted
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalt:
+		return "halt"
+	case StopBrk:
+		return "brk"
+	case StopLimit:
+		return "limit"
+	}
+	return fmt.Sprintf("stop(%d)", int(r))
+}
+
+// HaltService is the BRKBT payload that halts the machine.
+const HaltService = 0
+
+// MisalignHandler is the registered misalignment trap handler. It runs after
+// the architectural trap cost has been charged and must return the PC at
+// which execution resumes. Returning the faulting PC re-executes the
+// (possibly patched) instruction; the handler typically either emulates the
+// access (OS-style fixup, see Machine.EmulateAccess) and resumes at pc+4, or
+// patches code (BT-style, paper §IV) and resumes at pc.
+type MisalignHandler func(m *Machine, pc uint64, inst host.Inst, ea uint64) (resume uint64)
+
+// Machine is the simulated host processor plus memory system.
+type Machine struct {
+	Mem    *mem.Memory
+	Params Params
+
+	regs [host.NumRegs]uint64
+	pc   uint64
+
+	caches  *cache.Hierarchy
+	handler MisalignHandler
+
+	counters Counters
+
+	// Decoded-instruction cache: one entry per 64-byte I-line, lazily
+	// filled. Patching code invalidates the affected line, which models the
+	// I-stream coherence actions (imb) a real BT must perform.
+	decoded   map[uint64]*iline
+	curLine   *iline
+	curLineID uint64
+	slotOpen  bool // an issue slot is open for an ALU-class instruction
+}
+
+const (
+	ilineShift = 6
+	ilineInsts = (1 << ilineShift) / host.InstBytes
+)
+
+type iline struct {
+	valid [ilineInsts]bool
+	inst  [ilineInsts]host.Inst
+}
+
+// New creates a machine over m with cost model p.
+func New(m *mem.Memory, p Params) *Machine {
+	mc := &Machine{
+		Mem:     m,
+		Params:  p,
+		decoded: make(map[uint64]*iline),
+	}
+	if p.UseCaches {
+		mc.caches = cache.NewES40()
+	}
+	return mc
+}
+
+// Caches exposes the cache hierarchy (nil when disabled).
+func (m *Machine) Caches() *cache.Hierarchy { return m.caches }
+
+// Counters returns a copy of the accumulated counters.
+func (m *Machine) Counters() Counters { return m.counters }
+
+// AddCycles charges extra cycles (used by the BT runtime to model
+// interpreter, translator, and handler work happening "on this CPU").
+func (m *Machine) AddCycles(n uint64) { m.counters.Cycles += n }
+
+// AddTrapCycles charges handler work and also attributes it to trap time.
+func (m *Machine) AddTrapCycles(n uint64) {
+	m.counters.Cycles += n
+	m.counters.TrapCycles += n
+}
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// SetPC sets the program counter. The PC must be instruction-aligned.
+func (m *Machine) SetPC(pc uint64) {
+	if pc%host.InstBytes != 0 {
+		panic(fmt.Sprintf("machine: SetPC(%#x): misaligned", pc))
+	}
+	m.pc = pc
+}
+
+// Reg reads register r (R31 reads as zero).
+func (m *Machine) Reg(r host.Reg) uint64 {
+	if r == host.Zero {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// SetReg writes register r (writes to R31 are discarded).
+func (m *Machine) SetReg(r host.Reg, v uint64) {
+	if r != host.Zero {
+		m.regs[r] = v
+	}
+}
+
+// SetMisalignHandler registers the misalignment trap handler. A nil handler
+// restores the default OS-style behaviour: emulate the access and continue.
+func (m *Machine) SetMisalignHandler(h MisalignHandler) { m.handler = h }
+
+// WriteCode copies host code into memory at addr and invalidates any decoded
+// instructions it covers. addr must be instruction-aligned.
+func (m *Machine) WriteCode(addr uint64, words []uint32) {
+	if addr%host.InstBytes != 0 {
+		panic(fmt.Sprintf("machine: WriteCode(%#x): misaligned", addr))
+	}
+	for i, w := range words {
+		m.Mem.Write32(addr+uint64(i)*host.InstBytes, w)
+	}
+	m.invalidate(addr, uint64(len(words))*host.InstBytes)
+}
+
+// Patch overwrites the single instruction word at addr and invalidates its
+// decoded line. This is the primitive the BT exception handler uses to
+// replace a faulting memory operation with a branch (paper Fig. 5).
+func (m *Machine) Patch(addr uint64, word uint32) {
+	m.WriteCode(addr, []uint32{word})
+}
+
+// IMB discards all decoded instructions (Alpha's instruction memory
+// barrier). WriteCode/Patch already invalidate precisely; IMB exists for
+// bulk invalidation such as a code cache flush.
+func (m *Machine) IMB() {
+	m.decoded = make(map[uint64]*iline)
+	m.curLine, m.curLineID = nil, 0
+}
+
+func (m *Machine) invalidate(addr, size uint64) {
+	first := addr >> ilineShift
+	last := (addr + size - 1) >> ilineShift
+	for l := first; l <= last; l++ {
+		delete(m.decoded, l)
+		if l == m.curLineID {
+			m.curLine = nil
+		}
+	}
+}
+
+// fetch returns the decoded instruction at pc, charging I-cache latency on
+// line crossings.
+func (m *Machine) fetch(pc uint64) (host.Inst, error) {
+	lineID := pc >> ilineShift
+	line := m.curLine
+	if line == nil || lineID != m.curLineID {
+		var ok bool
+		line, ok = m.decoded[lineID]
+		if !ok {
+			line = new(iline)
+			m.decoded[lineID] = line
+		}
+		m.curLine, m.curLineID = line, lineID
+		if m.caches != nil {
+			m.counters.Cycles += uint64(m.caches.Fetch(pc))
+		}
+	}
+	slot := pc >> 2 & (ilineInsts - 1)
+	if !line.valid[slot] {
+		inst, err := host.Decode(m.Mem.Read32(pc))
+		if err != nil {
+			return host.Inst{}, fmt.Errorf("machine: fetch at %#x: %w", pc, err)
+		}
+		line.inst[slot] = inst
+		line.valid[slot] = true
+	}
+	return line.inst[slot], nil
+}
+
+// EmulateAccess performs inst's memory access at ea in software, ignoring
+// alignment. Loads deposit into inst.Ra with the op's extension semantics;
+// stores write inst.Ra's low bytes. This is what the OS-style fixup handler
+// and the BT's first-trap handling use.
+func (m *Machine) EmulateAccess(inst host.Inst, ea uint64) {
+	size := inst.Op.MemSize()
+	if inst.Op.IsStore() {
+		m.Mem.Write(ea, m.Reg(inst.Ra), size)
+		return
+	}
+	v := m.Mem.Read(ea, size)
+	if inst.Op == host.LDL {
+		v = uint64(int64(int32(v)))
+	}
+	m.SetReg(inst.Ra, v)
+}
+
+// Run executes until a BRKBT, the instruction budget is exhausted, or an
+// execution error (undecodable instruction) occurs. On StopBrk/StopHalt the
+// PC is left at the instruction after the BRKBT and the payload is returned.
+func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
+	p := &m.Params
+	for n := uint64(0); n < maxInsts; n++ {
+		inst, err := m.fetch(m.pc)
+		if err != nil {
+			return StopLimit, 0, err
+		}
+		m.counters.Insts++
+		m.counters.Cycles++
+		nextPC := m.pc + host.InstBytes
+
+		format := host.FormatOf(inst.Op)
+		switch format {
+		case host.FormatPAL:
+			m.slotOpen = false
+			m.counters.Brks++
+			m.counters.Cycles += p.BrkCycles
+			m.pc = nextPC
+			if inst.Payload == HaltService {
+				return StopHalt, inst.Payload, nil
+			}
+			return StopBrk, inst.Payload, nil
+
+		case host.FormatMem:
+			ea := m.Reg(inst.Rb) + uint64(int64(inst.Disp))
+			switch inst.Op {
+			case host.LDA, host.LDAH:
+				if inst.Op == host.LDA {
+					m.SetReg(inst.Ra, ea)
+				} else {
+					m.SetReg(inst.Ra, m.Reg(inst.Rb)+uint64(int64(inst.Disp))<<16)
+				}
+				if p.DualIssueALU {
+					if m.slotOpen {
+						m.counters.Cycles--
+						m.slotOpen = false
+					} else {
+						m.slotOpen = true
+					}
+				}
+			default:
+				m.slotOpen = true // a memory op leaves an ALU slot open
+				size := inst.Op.MemSize()
+				if inst.Op.Aligns() && ea&uint64(size-1) != 0 {
+					m.misalignTrap(inst, ea)
+					continue // handler set the resume PC
+				}
+				access := ea
+				if inst.Op == host.LDQU || inst.Op == host.STQU {
+					access = ea &^ 7
+				}
+				if inst.Op.IsStore() {
+					m.counters.Stores++
+					m.Mem.Write(access, m.Reg(inst.Ra), size)
+				} else {
+					m.counters.Loads++
+					m.counters.Cycles += p.LoadExtraCycles
+					v := m.Mem.Read(access, size)
+					if inst.Op == host.LDL {
+						v = uint64(int64(int32(v)))
+					}
+					m.SetReg(inst.Ra, v)
+				}
+				if m.caches != nil {
+					m.counters.Cycles += uint64(m.caches.Data(access))
+				}
+			}
+			m.pc = nextPC
+
+		case host.FormatOpr:
+			bv := m.Reg(inst.Rb)
+			if inst.IsLit {
+				bv = uint64(inst.Lit)
+			}
+			m.SetReg(inst.Rc, host.EvalOp(inst.Op, m.Reg(inst.Ra), bv))
+			if inst.Op == host.MULL || inst.Op == host.MULQ {
+				m.counters.Cycles += p.MulExtraCycles
+				m.slotOpen = false
+			} else if p.DualIssueALU {
+				if m.slotOpen {
+					m.counters.Cycles-- // issued alongside the previous instruction
+					m.slotOpen = false
+				} else {
+					m.slotOpen = true
+				}
+			}
+			m.pc = nextPC
+
+		case host.FormatBra:
+			// An unconditional BR with no link register is a pure fetch
+			// redirect; the EV6 front end folds it (it can also dual-issue).
+			uncond := inst.Op == host.BR && inst.Ra == host.Zero
+			if uncond && p.DualIssueALU {
+				if m.slotOpen {
+					m.counters.Cycles--
+					m.slotOpen = false
+				} else {
+					m.slotOpen = true
+				}
+			} else {
+				m.slotOpen = false
+			}
+			if host.BranchTaken(inst.Op, m.Reg(inst.Ra)) {
+				if inst.Op == host.BR || inst.Op == host.BSR {
+					m.SetReg(inst.Ra, nextPC)
+				}
+				m.pc = inst.BranchTarget(m.pc)
+				if !uncond {
+					m.counters.Cycles += p.TakenBranchCycles
+				}
+			} else {
+				m.pc = nextPC
+			}
+
+		case host.FormatJmp:
+			m.slotOpen = false
+			target := m.Reg(inst.Rb) &^ 3
+			m.SetReg(inst.Ra, nextPC)
+			m.pc = target
+			m.counters.Cycles += p.TakenBranchCycles
+		}
+	}
+	return StopLimit, 0, nil
+}
+
+// misalignTrap charges the trap cost and dispatches to the handler.
+func (m *Machine) misalignTrap(inst host.Inst, ea uint64) {
+	m.counters.MisalignTraps++
+	m.counters.Cycles += m.Params.MisalignTrapCycles
+	m.counters.TrapCycles += m.Params.MisalignTrapCycles
+	pc := m.pc
+	if m.handler != nil {
+		m.pc = m.handler(m, pc, inst, ea)
+		if m.pc%host.InstBytes != 0 {
+			panic(fmt.Sprintf("machine: misalign handler returned misaligned pc %#x", m.pc))
+		}
+		return
+	}
+	// Default OS behaviour: fix up the access in software and continue.
+	m.EmulateAccess(inst, ea)
+	m.pc = pc + host.InstBytes
+}

@@ -1,0 +1,167 @@
+// Package mem provides the sparse, little-endian simulated memory shared by
+// the guest image, the translated code cache, and the host machine simulator.
+//
+// Memory is organized as fixed-size pages allocated on first touch. All
+// multi-byte accessors are little-endian (both the guest x86-like ISA and the
+// host Alpha-like ISA are little-endian) and place no alignment restrictions;
+// alignment policy is enforced by the machine simulator, not by the memory.
+package mem
+
+import "fmt"
+
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 13
+	// PageSize is the size of one backing page (8 KiB).
+	PageSize = 1 << PageShift
+	pageMask = PageSize - 1
+)
+
+// Memory is a sparse byte-addressable memory. The zero value is ready to use.
+// All addresses are 64-bit; untouched memory reads as zero.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64) *[PageSize]byte {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	idx := addr >> PageShift
+	p, ok := m.pages[idx]
+	if !ok {
+		p = new([PageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// peek returns the page for addr if it exists, without allocating.
+func (m *Memory) peek(addr uint64) *[PageSize]byte {
+	if m.pages == nil {
+		return nil
+	}
+	return m.pages[addr>>PageShift]
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint64) byte {
+	p := m.peek(addr)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.page(addr)[addr&pageMask] = v
+}
+
+// Read reads n bytes (n ≤ 8) starting at addr as a little-endian integer.
+// It panics if n is not in 1..8.
+func (m *Memory) Read(addr uint64, n int) uint64 {
+	if n < 1 || n > 8 {
+		panic(fmt.Sprintf("mem: Read size %d out of range", n))
+	}
+	// Fast path: the access is contained in one page.
+	off := addr & pageMask
+	if off+uint64(n) <= PageSize {
+		p := m.peek(addr)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := n - 1; i >= 0; i-- {
+			v = v<<8 | uint64(p[off+uint64(i)])
+		}
+		return v
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.Read8(addr+uint64(i)))
+	}
+	return v
+}
+
+// Write writes the n low-order bytes (n ≤ 8) of v little-endian at addr.
+// It panics if n is not in 1..8.
+func (m *Memory) Write(addr uint64, v uint64, n int) {
+	if n < 1 || n > 8 {
+		panic(fmt.Sprintf("mem: Write size %d out of range", n))
+	}
+	off := addr & pageMask
+	if off+uint64(n) <= PageSize {
+		p := m.page(addr)
+		for i := 0; i < n; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Read16 reads a little-endian 16-bit value.
+func (m *Memory) Read16(addr uint64) uint16 { return uint16(m.Read(addr, 2)) }
+
+// Read32 reads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
+
+// Read64 reads a little-endian 64-bit value.
+func (m *Memory) Read64(addr uint64) uint64 { return m.Read(addr, 8) }
+
+// Write16 writes a little-endian 16-bit value.
+func (m *Memory) Write16(addr uint64, v uint16) { m.Write(addr, uint64(v), 2) }
+
+// Write32 writes a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) { m.Write(addr, uint64(v), 4) }
+
+// Write64 writes a little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) { m.Write(addr, v, 8) }
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & pageMask
+		n := PageSize - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		if p := m.peek(addr); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := range dst[:n] {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & pageMask
+		n := PageSize - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		copy(m.page(addr)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+}
+
+// Pages reports the number of allocated pages (for footprint accounting).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Footprint reports the allocated backing-store size in bytes.
+func (m *Memory) Footprint() int { return len(m.pages) * PageSize }

@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReadable(t *testing.T) {
+	var m Memory
+	if got := m.Read64(0x1000); got != 0 {
+		t.Fatalf("untouched memory = %#x, want 0", got)
+	}
+	m.Write32(0x1000, 0xdeadbeef)
+	if got := m.Read32(0x1000); got != 0xdeadbeef {
+		t.Fatalf("Read32 = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New()
+	m.Write32(0x100, 0x04030201)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if got := m.Read8(0x100 + uint64(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+	m.Write64(0x200, 0x0807060504030201)
+	if got := m.Read16(0x203); got != 0x0504 {
+		t.Errorf("misaligned Read16 = %#x, want 0x0504", got)
+	}
+	if got := m.Read32(0x203); got != 0x07060504 {
+		t.Errorf("misaligned Read32 = %#x, want 0x07060504", got)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // 8-byte access spans two pages
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Fatalf("cross-page Read64 = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr uint64, v uint64, szSel uint8) bool {
+		addr &= 0xffffff // keep the page map small
+		n := 1 << (szSel % 4)
+		m.Write(addr, v, n)
+		got := m.Read(addr, n)
+		want := v
+		if n < 8 {
+			want &= 1<<(8*n) - 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDoesNotDisturbNeighbors(t *testing.T) {
+	m := New()
+	for i := uint64(0); i < 32; i++ {
+		m.Write8(0x500+i, byte(i+1))
+	}
+	m.Write32(0x505, 0)
+	for i := uint64(0); i < 32; i++ {
+		want := byte(i + 1)
+		if i >= 5 && i < 9 {
+			want = 0
+		}
+		if got := m.Read8(0x500 + i); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBytesBulk(t *testing.T) {
+	m := New()
+	src := make([]byte, 3*PageSize+17)
+	rnd := rand.New(rand.NewSource(1))
+	rnd.Read(src)
+	m.WriteBytes(PageSize-9, src)
+	dst := make([]byte, len(src))
+	m.ReadBytes(PageSize-9, dst)
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("bulk mismatch at %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+	// Reading an untouched region through ReadBytes must yield zeros even
+	// into a dirty destination buffer.
+	dirty := []byte{1, 2, 3, 4, 5}
+	m.ReadBytes(1<<40, dirty)
+	for i, b := range dirty {
+		if b != 0 {
+			t.Fatalf("untouched ReadBytes[%d] = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestSizePanics(t *testing.T) {
+	m := New()
+	for _, n := range []int{0, 9, -1} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Read size %d did not panic", n)
+				}
+			}()
+			m.Read(0, n)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Write size %d did not panic", n)
+				}
+			}()
+			m.Write(0, 0, n)
+		}()
+	}
+}
+
+func BenchmarkRead32(b *testing.B) {
+	m := New()
+	m.Write32(0x1000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Read32(0x1000)
+	}
+}

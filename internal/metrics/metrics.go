@@ -1,0 +1,173 @@
+// Package metrics provides the small numeric and rendering helpers the
+// experiment harness uses to report paper-style tables and figures:
+// geometric means, normalized ratios, and fixed-width ASCII table/bar-chart
+// rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive values
+// (which cannot participate in a geometric mean). It returns 0 for an
+// empty input.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pct formats a fraction as a signed percentage ("+4.5%").
+func Pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }
+
+// Count formats large counts the way the paper's tables do: plain integers
+// below a million, scientific notation (e.g. 8.32E+09) above.
+func Count(v float64) string {
+	if v < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2E", v)
+}
+
+// Table renders rows as a fixed-width ASCII table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Row appends one row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// BarChart renders labelled horizontal bars (our stand-in for the paper's
+// figures). Values may be negative; bars are scaled to width.
+type BarChart struct {
+	Title string
+	Width int
+	names []string
+	vals  []float64
+}
+
+// NewBarChart creates a chart; width is the maximum bar length in
+// characters (default 40 when 0).
+func NewBarChart(title string, width int) *BarChart {
+	if width <= 0 {
+		width = 40
+	}
+	return &BarChart{Title: title, Width: width}
+}
+
+// Bar appends one bar.
+func (b *BarChart) Bar(name string, v float64) {
+	b.names = append(b.names, name)
+	b.vals = append(b.vals, v)
+}
+
+// String renders the chart.
+func (b *BarChart) String() string {
+	maxAbs, nameW := 0.0, 0
+	for i, v := range b.vals {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(b.names[i]) > nameW {
+			nameW = len(b.names[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	for i, v := range b.vals {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(b.Width)))
+		bar := strings.Repeat("#", n)
+		sign := " "
+		if v < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&sb, "%-*s %s%-*s %8.3f\n", nameW, b.names[i], sign, b.Width, bar, v)
+	}
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	// Non-positive values are skipped, not poisoning the mean.
+	if g := Geomean([]float64{4, 0, -3, 4}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean with non-positives = %v, want 4", g)
+	}
+	if g := Geomean([]float64{0, -1}); g != 0 {
+		t.Errorf("Geomean(all non-positive) = %v, want 0", g)
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	// geomean(k*x) = k * geomean(x) — the property that makes it the right
+	// summary for normalized runtimes.
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a)/16 + 0.1, float64(b)/16 + 0.1, float64(c)/16 + 0.1}
+		k := 3.7
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = k * x
+		}
+		return math.Abs(Geomean(scaled)-k*Geomean(xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.045); got != "+4.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.1); got != "-10.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Count(4950); got != "4950" {
+		t.Errorf("Count = %q", got)
+	}
+	if got := Count(8.32e9); got != "8.32E+09" {
+		t.Errorf("Count = %q, want paper-style scientific", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("betabeta", 22)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("bad header %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[3], "1.5") {
+		t.Errorf("bad row %q", lines[3])
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	h := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[4][h-2:], "  22") && !strings.Contains(lines[4], "22") {
+		t.Errorf("row misaligned: %q", lines[4])
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	bc := NewBarChart("Bars", 10)
+	bc.Bar("up", 2)
+	bc.Bar("down", -1)
+	bc.Bar("zero", 0)
+	out := bc.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "-#####") {
+		t.Errorf("negative bar missing sign:\n%s", out)
+	}
+	// Zero width defaults to 40.
+	bc2 := NewBarChart("", 0)
+	bc2.Bar("x", 1)
+	if !strings.Contains(bc2.String(), strings.Repeat("#", 40)) {
+		t.Error("default width not applied")
+	}
+	// All-zero chart must not divide by zero.
+	bc3 := NewBarChart("z", 5)
+	bc3.Bar("a", 0)
+	if !strings.Contains(bc3.String(), "a") {
+		t.Error("zero chart broken")
+	}
+}

@@ -1,0 +1,209 @@
+// Package mdabt is a reproduction of "An Evaluation of Misaligned Data
+// Access Handling Mechanisms in Dynamic Binary Translation Systems"
+// (Li, Wu, Hsu — CGO 2009): a complete dynamic binary translator from a
+// 32-bit x86-like guest ISA (misaligned data accesses allowed) to a 64-bit
+// Alpha-like host ISA (misaligned accesses trap), running on a simulated
+// Alpha ES40 with a cycle cost model, together with the five MDA handling
+// mechanisms the paper evaluates and the full experiment harness that
+// regenerates its tables and figures.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/guest — the source ISA: registers, variable-length
+//     encoding, reference interpreter, program builder.
+//   - internal/guestasm — a text assembler for the guest ISA.
+//   - internal/host — the target ISA: Alpha-style encodings including the
+//     LDQ_U/EXT/INS/MSK unaligned-access support instructions.
+//   - internal/machine — the simulated host processor: cycle accounting,
+//     ES40 cache hierarchy, misalignment traps, code patching.
+//   - internal/core — the translator: two-phase interpretation and
+//     translation, code cache, block linking, and the MDA mechanisms
+//     (Direct, StaticProfile, DynamicProfile, ExceptionHandling, DPEH with
+//     rearrangement/retranslation/multi-version options).
+//   - internal/workload — 54 SPEC CPU2000/2006 benchmark models dialed to
+//     the paper's Table I/III/IV and Figure 15 measurements.
+//   - internal/experiments — one runner per paper table/figure.
+//
+// # Quick start
+//
+//	img, _ := mdabt.Assemble(`
+//	        mov     ebx, 0x10000000
+//	        mov     eax, dword [ebx+2]   ; misaligned!
+//	        halt
+//	`, mdabt.GuestCodeBase)
+//	sys := mdabt.NewSystem(mdabt.MechanismOptions(mdabt.ExceptionHandling))
+//	sys.LoadImage(mdabt.GuestCodeBase, img)
+//	_ = sys.Run(mdabt.GuestCodeBase, 1<<24)
+//	fmt.Println(sys.Machine.Counters().MisalignTraps) // 1: patched after the first trap
+package mdabt
+
+import (
+	"io"
+
+	"mdabt/internal/core"
+	"mdabt/internal/experiments"
+	"mdabt/internal/guest"
+	"mdabt/internal/guestasm"
+	"mdabt/internal/machine"
+	"mdabt/internal/mem"
+	"mdabt/internal/workload"
+)
+
+// Mechanism selects an MDA handling mechanism.
+type Mechanism = core.Mechanism
+
+// The five mechanisms of the paper's evaluation.
+const (
+	Direct            = core.Direct
+	StaticProfile     = core.StaticProfile
+	DynamicProfile    = core.DynamicProfile
+	ExceptionHandling = core.ExceptionHandling
+	DPEH              = core.DPEH
+)
+
+// Options configures the translator (see core.Options).
+type Options = core.Options
+
+// MechanismOptions returns the paper-default configuration for a mechanism.
+func MechanismOptions(m Mechanism) Options { return core.DefaultOptions(m) }
+
+// Guest address-space constants.
+const (
+	GuestCodeBase  = guest.CodeBase
+	GuestDataBase  = guest.DataBase
+	GuestSharedLib = guest.SharedLib
+	GuestStackTop  = guest.StackTop
+)
+
+// MachineParams is the host cycle cost model.
+type MachineParams = machine.Params
+
+// DefaultMachineParams returns the ES40-flavored cost model.
+func DefaultMachineParams() MachineParams { return machine.DefaultParams() }
+
+// System bundles one simulated machine with one translator instance.
+type System struct {
+	Mem     *mem.Memory
+	Machine *machine.Machine
+	Engine  *core.Engine
+}
+
+// NewSystem builds a fresh machine (default cost model) and translator.
+func NewSystem(opt Options) *System {
+	return NewSystemWithParams(opt, machine.DefaultParams())
+}
+
+// NewSystemWithParams builds a system with an explicit cost model.
+func NewSystemWithParams(opt Options, params MachineParams) *System {
+	m := mem.New()
+	mach := machine.New(m, params)
+	eng := core.NewEngine(m, mach, opt)
+	return &System{Mem: m, Machine: mach, Engine: eng}
+}
+
+// LoadImage places a guest binary image at base.
+func (s *System) LoadImage(base uint32, image []byte) { s.Engine.LoadImage(base, image) }
+
+// Run executes the guest program until HALT or until maxHostInsts host
+// instructions have been simulated (core.ErrBudget on exhaustion).
+func (s *System) Run(entry uint32, maxHostInsts uint64) error {
+	return s.Engine.Run(entry, maxHostInsts)
+}
+
+// GuestCPU returns the final guest architectural state.
+func (s *System) GuestCPU() guest.CPU { return s.Engine.FinalCPU() }
+
+// Assemble translates guest assembly text into a loadable image.
+func Assemble(src string, base uint32) ([]byte, error) {
+	return guestasm.Assemble(src, base)
+}
+
+// DisassembleGuest renders a guest image as assembly text.
+func DisassembleGuest(img []byte, base uint32) (string, error) {
+	return guestasm.DisasmImage(img, base)
+}
+
+// Census is a pure-interpretation misalignment census (Table I / Fig. 15
+// data for a program).
+type Census = core.Census
+
+// RunCensus interprets the program at entry in m and returns its census.
+func RunCensus(m *mem.Memory, entry uint32, maxInsts uint64) (*Census, error) {
+	return core.RunCensus(m, entry, maxInsts)
+}
+
+// ProfileDB is a persistent misalignment profile (the FX!32-style profile
+// database behind the static-profiling mechanism).
+type ProfileDB = core.ProfileDB
+
+// TrainProfile censuses the program at entry (a training pre-execution)
+// and returns its profile database.
+func TrainProfile(m *mem.Memory, program, input string, entry uint32, maxInsts uint64) (*ProfileDB, error) {
+	return core.TrainProfile(m, program, input, entry, maxInsts)
+}
+
+// LoadProfileDB reads a profile database written by ProfileDB.Save.
+func LoadProfileDB(r io.Reader) (*ProfileDB, error) { return core.LoadProfileDB(r) }
+
+// BenchmarkSpec models one SPEC benchmark's MDA behaviour.
+type BenchmarkSpec = workload.Spec
+
+// Benchmarks returns all 54 Table I benchmark models.
+func Benchmarks() []BenchmarkSpec { return workload.Specs() }
+
+// SelectedBenchmarks returns the 21 benchmarks of the performance
+// experiments.
+func SelectedBenchmarks() []BenchmarkSpec { return workload.SelectedSpecs() }
+
+// BenchmarkByName looks up one benchmark model.
+func BenchmarkByName(name string) (BenchmarkSpec, bool) { return workload.SpecByName(name) }
+
+// Workload is a generated benchmark program.
+type Workload = workload.Program
+
+// Input selects a benchmark input set.
+type Input = workload.Input
+
+// Benchmark input sets.
+const (
+	TrainInput = workload.Train
+	RefInput   = workload.Ref
+)
+
+// GenerateWorkload builds the guest program modelling spec.
+func GenerateWorkload(spec BenchmarkSpec) (*Workload, error) { return workload.Generate(spec) }
+
+// ExperimentSession caches programs and runs across experiments.
+type ExperimentSession = experiments.Session
+
+// ExperimentResult is one regenerated table or figure.
+type ExperimentResult = experiments.Result
+
+// NewExperimentSession returns a full-scale experiment session.
+func NewExperimentSession() *ExperimentSession { return experiments.NewSession() }
+
+// RunExperiment regenerates one paper artifact by ID ("table1", "fig1",
+// "fig10".."fig16", "table3", "table4").
+func RunExperiment(s *ExperimentSession, id string) (*ExperimentResult, error) {
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return run(s)
+}
+
+// ExperimentIDs lists the available experiment IDs in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// UnknownExperimentError reports an unrecognized experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "mdabt: unknown experiment " + e.ID
+}
