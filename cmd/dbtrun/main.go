@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"mdabt/internal/core"
+	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/guestasm"
 	"mdabt/internal/machine"
@@ -49,6 +50,9 @@ func main() {
 	superblocks := flag.Bool("superblocks", false, "enable phase-2 trace formation (DPEH/dynprof)")
 	profileOut := flag.String("profile-out", "", "run a training census and write the profile database (JSON) here, then exit")
 	profileIn := flag.String("profile-in", "", "load a stored profile database for the static mechanism")
+	selfcheck := flag.Bool("selfcheck", false, "validate engine invariants after every structural mutation and at exit")
+	faultRate := flag.Float64("fault-rate", 0, "inject faults at every injection point with this probability (chaos mode)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (with -fault-rate)")
 	flag.Parse()
 
 	mech, ok := mechByName[*mechName]
@@ -66,6 +70,13 @@ func main() {
 	opt.IBTC = *ibtc
 	opt.Adaptive = *adaptive
 	opt.Superblocks = *superblocks
+	opt.SelfCheck = *selfcheck
+	if *faultRate < 0 || *faultRate > 1 {
+		fail("-fault-rate must be in [0,1]")
+	}
+	if *faultRate > 0 {
+		opt.FaultPlan = faultinject.New(*faultSeed).RateAll(*faultRate)
+	}
 
 	m := mem.New()
 	entry := uint32(guest.CodeBase)
@@ -160,6 +171,19 @@ func main() {
 		s.InterpretedInsts, s.InterpretedMDAs)
 	fmt.Printf("dispatches/links: %d / %d\n", s.NativeBlockRuns, s.Links)
 	fmt.Printf("code cache:       %d bytes\n", eng.CodeCacheUsed())
+	if *faultRate > 0 || s.StubZoneFull+s.UnpatchableSites+s.InterpFallbacks+s.TrapStormDemotions > 0 {
+		fmt.Printf("degraded:         stub-full=%d unpatchable=%d interp-fallbacks=%d demotions=%d flushes=%d\n",
+			s.StubZoneFull, s.UnpatchableSites, s.InterpFallbacks, s.TrapStormDemotions, s.Flushes)
+	}
+	if opt.FaultPlan != nil {
+		fmt.Printf("injected faults:  %d (%s)\n", s.InjectedFaults, opt.FaultPlan)
+	}
+	if *selfcheck {
+		if err := eng.CheckInvariants(); err != nil {
+			fail("selfcheck: %v", err)
+		}
+		fmt.Printf("selfcheck:        ok\n")
+	}
 
 	cpu := eng.FinalCPU()
 	fmt.Printf("guest state:      eax=%#x ecx=%#x edx=%#x ebx=%#x esi=%#x edi=%#x\n",

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 )
 
@@ -24,14 +25,19 @@ type codeCache struct {
 	base, size uint64
 	blockNext  uint64 // next free address for block bodies (grows up)
 	stubNext   uint64 // next free address past the stub zone (grows down)
+	// faults, when non-nil, injects deterministic allocation failures so
+	// the flush and stub-exhaustion recovery ladders are testable.
+	faults *faultinject.Plan
 }
 
-func newCodeCache(size uint64) *codeCache {
-	cc := &codeCache{base: CodeCacheBase, size: size}
+func newCodeCache(size uint64, faults *faultinject.Plan) *codeCache {
+	cc := &codeCache{base: CodeCacheBase, size: size, faults: faults}
 	cc.reset()
 	return cc
 }
 
+// reset reclaims both zones — block bodies and exception-handler stubs —
+// restoring the cache to empty (full flush).
 func (cc *codeCache) reset() {
 	cc.blockNext = cc.base
 	cc.stubNext = cc.base + cc.size
@@ -39,6 +45,9 @@ func (cc *codeCache) reset() {
 
 // allocBlock reserves nbytes for a translated block body.
 func (cc *codeCache) allocBlock(nbytes uint64) (uint64, error) {
+	if cc.faults.Should(faultinject.AllocBlock) {
+		return 0, errCodeCacheFull
+	}
 	nbytes = (nbytes + 3) &^ 3
 	if cc.blockNext+nbytes > cc.stubNext {
 		return 0, errCodeCacheFull
@@ -50,12 +59,20 @@ func (cc *codeCache) allocBlock(nbytes uint64) (uint64, error) {
 
 // allocStub reserves nbytes in the stub zone (top of the cache).
 func (cc *codeCache) allocStub(nbytes uint64) (uint64, error) {
+	if cc.faults.Should(faultinject.AllocStub) {
+		return 0, errCodeCacheFull
+	}
 	nbytes = (nbytes + 3) &^ 3
 	if cc.stubNext-nbytes < cc.blockNext {
 		return 0, errCodeCacheFull
 	}
 	cc.stubNext -= nbytes
 	return cc.stubNext, nil
+}
+
+// stubZoneBytes reports the bytes currently allocated to MDA stubs.
+func (cc *codeCache) stubZoneBytes() uint64 {
+	return cc.base + cc.size - cc.stubNext
 }
 
 // used reports the bytes currently allocated (both zones).
@@ -92,6 +109,10 @@ type memSite struct {
 	hostPCs []uint64
 	// patched marks host PCs already redirected to an MDA stub.
 	patched map[uint64]bool
+	// patchFails counts failed patch attempts (stub zone full, assembler
+	// error, branch out of range); past Options.PatchRetryLimit the trap-
+	// storm limiter demotes the site (see Engine.patchFailed).
+	patchFails int
 }
 
 // memKind describes which MDA sequence a site needs.

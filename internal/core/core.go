@@ -25,6 +25,7 @@
 package core
 
 import (
+	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/host"
 )
@@ -142,6 +143,23 @@ type Options struct {
 	// CodeCacheBytes bounds the code cache; on exhaustion the whole cache
 	// is flushed (Dynamo-style, §IV-C) and translation restarts.
 	CodeCacheBytes uint64
+
+	// PatchRetryLimit bounds the exception handler's failed patch attempts
+	// per site (stub zone full, assembler error, branch out of range).
+	// Past the limit the trap-storm limiter demotes the site: the block is
+	// invalidated so the retained-MDA record inlines the sequence on
+	// retranslation, and the site falls back to permanent soft emulation
+	// in the meantime.
+	PatchRetryLimit int
+
+	// FaultPlan, when non-nil, enables deterministic fault injection at
+	// the points defined in internal/faultinject. The engine propagates
+	// the plan to the machine for trap-delivery faults.
+	FaultPlan *faultinject.Plan
+
+	// SelfCheck runs Engine.CheckInvariants after every flush, patch,
+	// translation, and retranslation; the first violation aborts Run.
+	SelfCheck bool
 }
 
 // DefaultOptions returns the configuration used by the experiments for the
@@ -164,6 +182,7 @@ func DefaultOptions(m Mechanism) Options {
 		RearrangeFixedCycles:   800,
 		RearrangePerInstCycles: 120,
 		CodeCacheBytes:         4 << 20,
+		PatchRetryLimit:        8,
 	}
 	if m == DPEH {
 		o.HeatThreshold = 10 // "relatively low threshold" (§IV-B)
@@ -210,6 +229,9 @@ func (o *Options) normalize() {
 	}
 	if o.CodeCacheBytes == 0 {
 		o.CodeCacheBytes = d.CodeCacheBytes
+	}
+	if o.PatchRetryLimit == 0 {
+		o.PatchRetryLimit = d.PatchRetryLimit
 	}
 }
 
@@ -291,4 +313,12 @@ type Stats struct {
 	IBTCFills        uint64 // indirect-branch cache entries installed
 	Superblocks      uint64 // multi-block traces formed
 	TraceBlocks      uint64 // basic blocks folded into traces
+
+	// Degradation-ladder counters (failure modes that previously degraded
+	// silently; see DESIGN.md §7).
+	StubZoneFull       uint64 // stub allocations refused by the exception handler
+	UnpatchableSites   uint64 // patch attempts abandoned (assembler error, branch out of range, unpatchable op)
+	InterpFallbacks    uint64 // executions of blacklisted blocks via the interpreter
+	TrapStormDemotions uint64 // sites demoted to soft emulation by the retry limiter
+	InjectedFaults     uint64 // faults fired by the injection plan (all points)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/host"
 	"mdabt/internal/machine"
@@ -13,6 +14,16 @@ import (
 // ErrBudget is returned by Run when the host-instruction budget is
 // exhausted before the guest program halts.
 var ErrBudget = errors.New("core: execution budget exhausted")
+
+// ErrBlockTooLarge reports a translation unit that does not fit the code
+// cache even when empty. Run does not fail on it: the block is routed to
+// the interpreter-fallback blacklist (degradation ladder, DESIGN.md §7).
+var ErrBlockTooLarge = errors.New("core: block exceeds code cache capacity")
+
+// errInjectedTranslate marks a fault-injected translation failure; like
+// ErrBlockTooLarge it degrades to the interpreter blacklist when it
+// persists through the retry.
+var errInjectedTranslate = errors.New("core: injected translation fault")
 
 // siteRef resolves a faulting host PC back to its block and memory site.
 type siteRef struct {
@@ -44,6 +55,17 @@ type Engine struct {
 	// reverted records sites the adaptive monitor (§IV-D) has demoted back
 	// to plain operations, per block start PC.
 	reverted map[uint32]map[int]bool
+	// blacklist holds guest PCs whose blocks failed translation even after
+	// the flush ladder; the dispatcher executes them with the interpreter
+	// forever instead of failing the run.
+	blacklist map[uint32]bool
+	// softEmu holds guest instruction addresses demoted by the trap-storm
+	// limiter: the exception handler fixes their traps up in software
+	// without further patch attempts.
+	softEmu map[uint32]bool
+	// invariantErr latches the first self-check violation (Opt.SelfCheck);
+	// Run aborts with it at the next dispatch.
+	invariantErr error
 	// adaptives indexes adaptive-site BRKBT payloads.
 	adaptives   []adaptiveRef
 	counterNext uint64
@@ -69,7 +91,7 @@ func NewEngine(m *mem.Memory, mach *machine.Machine, opt Options) *Engine {
 		Mem:         m,
 		Mach:        mach,
 		Opt:         opt,
-		cc:          newCodeCache(opt.CodeCacheBytes),
+		cc:          newCodeCache(opt.CodeCacheBytes, opt.FaultPlan),
 		blocks:      make(map[uint32]*block),
 		sites:       make(map[uint64]siteRef),
 		profiles:    make(map[uint32]*blockProfile),
@@ -77,14 +99,29 @@ func NewEngine(m *mem.Memory, mach *machine.Machine, opt Options) *Engine {
 		decoded:     make(map[uint32]decEntry),
 		retainedMDA: make(map[uint32]map[int]bool),
 		reverted:    make(map[uint32]map[int]bool),
+		blacklist:   make(map[uint32]bool),
+		softEmu:     make(map[uint32]bool),
 		counterNext: counterBase,
 	}
 	mach.SetMisalignHandler(e.handleMisalign)
+	if opt.FaultPlan != nil {
+		// Trap-delivery faults (spurious/duplicate traps) fire inside the
+		// machine; every fired point also lands in the engine's event log.
+		mach.SetFaultPlan(opt.FaultPlan)
+		opt.FaultPlan.Observe(func(pt faultinject.Point) {
+			e.event(EvFault, 0, 0, string(pt))
+		})
+	}
 	return e
 }
 
-// Stats returns the BT-level statistics.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns the BT-level statistics. InjectedFaults reflects the fault
+// plan's total at the time of the call (all points, engine and machine).
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.InjectedFaults = e.Opt.FaultPlan.Total()
+	return s
+}
 
 // Blocks returns the number of live translations.
 func (e *Engine) Blocks() int { return len(e.blocks) }
@@ -263,7 +300,14 @@ func (e *Engine) invalidateBlock(b *block) {
 }
 
 // flushAll empties the code cache (Dynamo-style full flush) when an
-// allocation fails. Heating profiles and trap-discovered MDA sites survive.
+// allocation fails or a forced flush is injected. Both zones are reclaimed
+// — block bodies and the exception handler's MDA stubs. Heating profiles,
+// trap-discovered MDA sites, the interpreter blacklist, and soft-emulation
+// demotions survive.
+//
+// Flushing clears the exit table, so it is only safe at a dispatch
+// boundary (never from inside the trap handler, where stale code holding
+// live BRKBT exit payloads is still executing).
 func (e *Engine) flushAll() {
 	for _, b := range e.blocks {
 		b.invalid = true
@@ -278,17 +322,37 @@ func (e *Engine) flushAll() {
 	}
 	e.event(EvFlush, 0, 0, "")
 	e.stats.Flushes++
+	e.selfCheck("flush")
 }
 
-// ensureTranslated translates pc, flushing and retrying once if the code
-// cache is full.
+// ensureTranslated translates pc, walking the recovery ladder: a full
+// cache flushes and retries once; a block that still does not fit reports
+// ErrBlockTooLarge (the caller blacklists it to the interpreter); an
+// injected transient fault gets one retry before degrading the same way.
 func (e *Engine) ensureTranslated(pc uint32) (*block, error) {
 	b, err := e.translate(pc)
-	if err == errCodeCacheFull {
+	switch err {
+	case errCodeCacheFull:
 		e.flushAll()
 		b, err = e.translate(pc)
+		if err == errCodeCacheFull {
+			err = fmt.Errorf("%w: block %#x", ErrBlockTooLarge, pc)
+		}
+	case errInjectedTranslate:
+		b, err = e.translate(pc)
+		if err == errCodeCacheFull {
+			e.flushAll()
+			b, err = e.translate(pc)
+		}
 	}
 	return b, err
+}
+
+// blacklistBlock permanently routes pc to the interpreter: the bottom rung
+// of the translation ladder (translate → flush → interpreter).
+func (e *Engine) blacklistBlock(pc uint32, cause error) {
+	e.blacklist[pc] = true
+	e.event(EvDegrade, pc, 0, "interpreter fallback: "+cause.Error())
 }
 
 // Run executes the guest program from entry until it halts or the machine
@@ -310,6 +374,28 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 			return ErrBudget
 		}
 		if !resume {
+			if e.invariantErr != nil {
+				e.syncToCPU()
+				return e.invariantErr
+			}
+			// A dispatch boundary is the only point where flushing is safe
+			// (no stale exit payloads in flight), so the injected forced
+			// flush fires here and nowhere else.
+			if e.Opt.FaultPlan.Should(faultinject.ForcedFlush) {
+				e.flushAll()
+			}
+			if e.blacklist[target] {
+				// Bottom rung of the ladder: the block failed translation
+				// permanently, so it runs on the interpreter forever.
+				e.syncToCPU()
+				e.stats.InterpFallbacks++
+				next, err := e.interpretBlock(target)
+				if err != nil {
+					return err
+				}
+				target = next
+				continue
+			}
 			b, translated := e.blocks[target]
 			if !translated {
 				if e.Opt.usesProfilingPhase() && e.profile(target).heat < e.Opt.HeatThreshold {
@@ -326,6 +412,10 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 				var err error
 				b, err = e.ensureTranslated(target)
 				if err != nil {
+					if errors.Is(err, ErrBlockTooLarge) || errors.Is(err, errInjectedTranslate) {
+						e.blacklistBlock(target, err)
+						continue
+					}
 					return err
 				}
 			}
@@ -376,6 +466,9 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 		}
 	}
 	e.syncToCPU()
+	if e.invariantErr != nil {
+		return e.invariantErr
+	}
 	return nil
 }
 
@@ -447,6 +540,13 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 	e.retained(b.guestPC)[site.instIdx] = true
 	m.AddTrapCycles(e.Opt.EHHandlerCycles)
 
+	if e.softEmu[site.guestPC] {
+		// Demoted by the trap-storm limiter: fix the access up in software
+		// permanently, without further patch or retranslation attempts.
+		m.EmulateAccess(inst, ea)
+		return pc + host.InstBytes
+	}
+
 	// Retranslation policy (§IV-C, Fig. 7): too many traps in one block ⇒
 	// discard the translation and restart profiling for it.
 	if e.Opt.Retranslate && b.trapCount >= e.Opt.RetransThreshold {
@@ -458,6 +558,7 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 		}
 		e.event(EvRetranslate, b.guestPC, 0, "")
 		e.stats.Retranslations++
+		e.selfCheck("retranslate")
 		return pc + host.InstBytes
 	}
 
@@ -472,12 +573,21 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 		// charge the discounted per-instruction rate for this pass.
 		saved := e.Opt.TranslateCyclesPerInst
 		e.Opt.TranslateCyclesPerInst = e.Opt.RearrangePerInstCycles
-		_, terr := e.ensureTranslated(b.guestPC)
+		// Translate directly — never through ensureTranslated: flushing
+		// clears the exit table, and the stale code we resume into still
+		// carries live exit payloads. If the cache is full the block simply
+		// stays invalid and the dispatcher retranslates it at the next
+		// entry, where flushing is safe.
+		_, terr := e.translate(b.guestPC)
+		if terr == errInjectedTranslate {
+			_, terr = e.translate(b.guestPC)
+		}
 		e.Opt.TranslateCyclesPerInst = saved
 		if terr == nil {
 			e.event(EvRearrange, b.guestPC, 0, "")
 			e.stats.Rearrangements++
 			m.AddTrapCycles(e.Opt.RearrangeFixedCycles)
+			e.selfCheck("rearrange")
 		}
 		return pc + host.InstBytes
 	}
@@ -487,13 +597,18 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 	// (Fig. 5).
 	k, ok := stubKind(inst.Op)
 	if !ok {
+		e.stats.UnpatchableSites++
+		e.patchFailed(b, site, pc, fmt.Sprintf("unpatchable op %v", inst.Op))
 		m.EmulateAccess(inst, ea)
 		return pc + host.InstBytes
 	}
 	stubLen := uint64(mdaSeqLen(k)+1) * host.InstBytes
 	addr, err := e.cc.allocStub(stubLen + 3*host.InstBytes)
 	if err != nil {
-		// Stub zone full: fall back to fixing up every time.
+		// Stub zone full: fall back to fixing up every time (and let the
+		// trap-storm limiter demote the site if this keeps happening).
+		e.stats.StubZoneFull++
+		e.patchFailed(b, site, pc, "stub zone full")
 		m.EmulateAccess(inst, ea)
 		return pc + host.InstBytes
 	}
@@ -502,12 +617,19 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 	a.BrTo(host.BR, host.Zero, pc+host.InstBytes)
 	words, aerr := a.Finish()
 	if aerr != nil {
+		e.stats.UnpatchableSites++
+		e.patchFailed(b, site, pc, "assembler: "+aerr.Error())
 		m.EmulateAccess(inst, ea)
 		return pc + host.InstBytes
 	}
 	m.WriteCode(addr, words)
 	d, fits := host.BrDispFor(pc, addr)
+	if fits && e.Opt.FaultPlan.Should(faultinject.PatchRange) {
+		fits = false // injected: pretend the stub is out of branch range
+	}
 	if !fits {
+		e.stats.UnpatchableSites++
+		e.patchFailed(b, site, pc, "stub out of branch range")
 		m.EmulateAccess(inst, ea)
 		return pc + host.InstBytes
 	}
@@ -516,7 +638,28 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 	e.event(EvPatch, site.guestPC, pc, fmt.Sprintf("stub=%#x", addr))
 	e.stats.Patches++
 	e.stats.MDAStubs++
+	e.selfCheck("patch")
 	// Resume at the faulting PC: the freshly patched branch executes and
 	// the MDA sequence completes the access natively.
 	return pc
+}
+
+// patchFailed records one failed attempt to convert a trapping site and,
+// once the failures reach Options.PatchRetryLimit, demotes the site to
+// permanent soft emulation (the trap-storm limiter). The demotion also
+// invalidates the block: its retained-MDA record makes the retranslation
+// inline the sequence, so the storm usually ends there and soft emulation
+// only carries traps from code the translator cannot improve.
+func (e *Engine) patchFailed(b *block, site *memSite, hostPC uint64, why string) {
+	site.patchFails++
+	e.event(EvDegrade, site.guestPC, hostPC, "patch failed: "+why)
+	if site.patchFails < e.Opt.PatchRetryLimit || e.softEmu[site.guestPC] {
+		return
+	}
+	e.softEmu[site.guestPC] = true
+	e.stats.TrapStormDemotions++
+	e.event(EvDegrade, site.guestPC, hostPC, "trap-storm demotion: soft emulation")
+	if !b.invalid {
+		e.invalidateBlock(b)
+	}
 }

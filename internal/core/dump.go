@@ -53,6 +53,10 @@ func (e *Engine) DumpStats() string {
 		s.AdaptiveSites, s.AdaptiveReverts)
 	fmt.Fprintf(&sb, "patches=%d stubs=%d links=%d flushes=%d interp-insts=%d\n",
 		s.Patches, s.MDAStubs, s.Links, s.Flushes, s.InterpretedInsts)
+	full := e.Stats() // includes the fault-plan total
+	fmt.Fprintf(&sb, "degraded: stub-full=%d unpatchable=%d interp-fallbacks=%d demotions=%d injected-faults=%d\n",
+		full.StubZoneFull, full.UnpatchableSites, full.InterpFallbacks,
+		full.TrapStormDemotions, full.InjectedFaults)
 	fmt.Fprintf(&sb, "code-cache=%dB blocks=%d\n", e.cc.used(), len(e.blocks))
 	return sb.String()
 }

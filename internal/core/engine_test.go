@@ -423,7 +423,7 @@ func TestMechanismString(t *testing.T) {
 }
 
 func TestCodeCacheAllocator(t *testing.T) {
-	cc := newCodeCache(1024)
+	cc := newCodeCache(1024, nil)
 	a1, err := cc.allocBlock(100)
 	if err != nil || a1 != CodeCacheBase {
 		t.Fatalf("allocBlock = %#x, %v", a1, err)

@@ -20,6 +20,8 @@ const (
 	EvFlush                        // full code cache flush
 	EvRevert                       // adaptive site reverted to a plain op (§IV-D)
 	EvIBTCFill                     // indirect-branch cache entry installed
+	EvFault                        // fault-injection plan fired an injection point
+	EvDegrade                      // a recovery path degraded down the ladder
 )
 
 var eventNames = [...]string{
@@ -33,6 +35,8 @@ var eventNames = [...]string{
 	EvFlush:       "flush",
 	EvRevert:      "revert",
 	EvIBTCFill:    "ibtc-fill",
+	EvFault:       "fault",
+	EvDegrade:     "degrade",
 }
 
 // String returns the event kind name.

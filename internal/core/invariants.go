@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants validates the engine's internal consistency: code cache
+// geometry, the block map, the side table mapping host PCs to memory
+// sites, the exit table, the IBTC mirror against its in-memory table, and
+// the interpreter blacklist. It returns nil when every invariant holds and
+// a descriptive error for the first violation found.
+//
+// The checker is the robustness harness's oracle: tests and `dbtrun
+// -selfcheck` run it after every structural mutation (translate, patch,
+// flush, rearrange, retranslate) so corruption is caught at the mutation
+// that introduced it, not at the eventual wrong result.
+func (e *Engine) CheckInvariants() error {
+	// Code cache geometry: the two bump pointers stay inside the region
+	// and never cross.
+	cc := e.cc
+	if cc.blockNext < cc.base || cc.blockNext > cc.stubNext || cc.stubNext > cc.base+cc.size {
+		return fmt.Errorf("core: invariant: cache pointers out of order: base=%#x blockNext=%#x stubNext=%#x end=%#x",
+			cc.base, cc.blockNext, cc.stubNext, cc.base+cc.size)
+	}
+
+	// Block map: every live block is valid, keyed by its guest PC, and its
+	// host span lies inside the block zone; live spans never overlap.
+	type span struct {
+		lo, hi uint64
+		pc     uint32
+	}
+	var spans []span
+	for pc, b := range e.blocks {
+		if b.invalid {
+			return fmt.Errorf("core: invariant: block %#x is live but marked invalid", pc)
+		}
+		if b.guestPC != pc {
+			return fmt.Errorf("core: invariant: block map key %#x != block.guestPC %#x", pc, b.guestPC)
+		}
+		if b.hostEntry < cc.base || b.hostEntry+b.hostSize > cc.blockNext {
+			return fmt.Errorf("core: invariant: block %#x host span [%#x,%#x) outside allocated zone [%#x,%#x)",
+				pc, b.hostEntry, b.hostEntry+b.hostSize, cc.base, cc.blockNext)
+		}
+		spans = append(spans, span{b.hostEntry, b.hostEntry + b.hostSize, pc})
+
+		// Per-block site records: every trap-prone host PC lies inside the
+		// block and is registered in the engine's side table.
+		for _, s := range b.sites {
+			for _, hpc := range s.hostPCs {
+				if hpc < b.hostEntry || hpc >= b.hostEntry+b.hostSize {
+					return fmt.Errorf("core: invariant: block %#x site @%#x has host PC %#x outside its block",
+						pc, s.guestPC, hpc)
+				}
+				ref, ok := e.sites[hpc]
+				if !ok {
+					return fmt.Errorf("core: invariant: block %#x site host PC %#x missing from side table", pc, hpc)
+				}
+				if ref.b != b || ref.site != s {
+					return fmt.Errorf("core: invariant: side table entry for %#x resolves to the wrong block/site", hpc)
+				}
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("core: invariant: blocks %#x and %#x overlap in the code cache",
+				spans[i-1].pc, spans[i].pc)
+		}
+	}
+
+	// Side table: every entry's block is either live (and then the lookup
+	// above verified it) or marked invalid — a live-looking entry for a
+	// vanished block means a missed cleanup.
+	for hpc, ref := range e.sites {
+		if !ref.b.invalid && e.blocks[ref.b.guestPC] != ref.b {
+			return fmt.Errorf("core: invariant: side table entry %#x references a non-live, non-invalid block %#x",
+				hpc, ref.b.guestPC)
+		}
+	}
+
+	// Exit table: ids index their own slots; a linked exit's target must be
+	// a live translation (invalidation unlinks incoming exits).
+	for i, ex := range e.exits {
+		if int(ex.id) != i {
+			return fmt.Errorf("core: invariant: exit %d carries id %d", i, ex.id)
+		}
+		if ex.linked {
+			if _, ok := e.blocks[ex.targetGuest]; !ok {
+				return fmt.Errorf("core: invariant: exit %d linked to untranslated guest %#x", i, ex.targetGuest)
+			}
+		}
+	}
+
+	// IBTC: the engine mirror and the in-memory table agree, and every
+	// valid entry points at a live translation's entry point in the slot
+	// its guest PC hashes to.
+	if e.Opt.IBTC {
+		for i := range e.ibtc {
+			ent := &e.ibtc[i]
+			addr := uint64(ibtcBase) + uint64(i)*16
+			memGuest := e.Mem.Read64(addr)
+			memHost := e.Mem.Read64(addr + 8)
+			if !ent.valid {
+				if memGuest != 0 || memHost != 0 {
+					return fmt.Errorf("core: invariant: ibtc slot %d invalid in mirror but set in memory", i)
+				}
+				continue
+			}
+			if memGuest != uint64(ent.guest) || memHost != ent.host {
+				return fmt.Errorf("core: invariant: ibtc slot %d mirror (%#x,%#x) != memory (%#x,%#x)",
+					i, ent.guest, ent.host, memGuest, memHost)
+			}
+			if int((ent.guest>>ibtcShift)&(ibtcEntries-1)) != i {
+				return fmt.Errorf("core: invariant: ibtc slot %d holds guest %#x which hashes elsewhere", i, ent.guest)
+			}
+			tb, ok := e.blocks[ent.guest]
+			if !ok {
+				return fmt.Errorf("core: invariant: ibtc slot %d targets untranslated guest %#x", i, ent.guest)
+			}
+			if tb.hostEntry != ent.host {
+				return fmt.Errorf("core: invariant: ibtc slot %d host %#x != block entry %#x", i, ent.host, tb.hostEntry)
+			}
+		}
+	}
+
+	// Degradation ladder: a blacklisted block must never be translated —
+	// the two dispatch paths would race over the same guest PC.
+	for pc := range e.blacklist {
+		if _, ok := e.blocks[pc]; ok {
+			return fmt.Errorf("core: invariant: blacklisted guest %#x has a live translation", pc)
+		}
+	}
+	return nil
+}
+
+// selfCheck runs CheckInvariants after a structural mutation when
+// Options.SelfCheck is on, latching the first violation (with the mutation
+// site that exposed it) for Run to report at the next dispatch boundary.
+func (e *Engine) selfCheck(where string) {
+	if !e.Opt.SelfCheck || e.invariantErr != nil {
+		return
+	}
+	if err := e.CheckInvariants(); err != nil {
+		e.invariantErr = fmt.Errorf("after %s: %w", where, err)
+	}
+}

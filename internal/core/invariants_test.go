@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mdabt/internal/guest"
+)
+
+// invariantEngine runs a small program to populate a real engine state.
+func invariantEngine(t *testing.T) *Engine {
+	t.Helper()
+	img := buildImg(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.MovImm(guest.ECX, 0)
+		b.MovImm(guest.EAX, 0)
+		b.Label("loop")
+		b.Load(guest.LD4, guest.EDX, guest.MemRef{Base: guest.EBX, Disp: 2})
+		b.ALU(guest.ADDrr, guest.EAX, guest.EDX)
+		b.Call("work")
+		b.ALUImm(guest.ADDri, guest.ECX, 1)
+		b.CmpImm(guest.ECX, 40)
+		b.Jcc(guest.L, "loop")
+		b.Halt()
+		b.Label("work")
+		b.Push(guest.EAX)
+		b.Pop(guest.EAX)
+		b.Ret()
+	})
+	opt := DefaultOptions(ExceptionHandling)
+	opt.IBTC = true
+	_, _, e := runDBT(t, img, patternData(64), opt)
+	if len(e.blocks) == 0 {
+		t.Fatal("engine has no live translations to corrupt")
+	}
+	return e
+}
+
+// TestCheckInvariantsCleanEngine: a healthy post-run engine passes.
+func TestCheckInvariantsCleanEngine(t *testing.T) {
+	e := invariantEngine(t)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("clean engine fails self-check: %v", err)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption plants one corruption of each class
+// the checker covers and asserts each is caught with a matching message.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	anyBlock := func(e *Engine) *block {
+		for _, b := range e.blocks {
+			return b
+		}
+		return nil
+	}
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, e *Engine)
+		want    string
+	}{
+		{
+			name:    "cache pointers crossed",
+			corrupt: func(t *testing.T, e *Engine) { e.cc.blockNext = e.cc.stubNext + 4 },
+			want:    "cache pointers out of order",
+		},
+		{
+			name:    "live block marked invalid",
+			corrupt: func(t *testing.T, e *Engine) { anyBlock(e).invalid = true },
+			want:    "marked invalid",
+		},
+		{
+			name:    "block map key mismatch",
+			corrupt: func(t *testing.T, e *Engine) { anyBlock(e).guestPC++ },
+			want:    "block map key",
+		},
+		{
+			name:    "block outside allocated zone",
+			corrupt: func(t *testing.T, e *Engine) { anyBlock(e).hostEntry = e.cc.base + e.cc.size },
+			want:    "outside allocated zone",
+		},
+		{
+			name: "side table entry dropped",
+			corrupt: func(t *testing.T, e *Engine) {
+				for hpc := range e.sites {
+					delete(e.sites, hpc)
+					break
+				}
+			},
+			want: "side table",
+		},
+		{
+			name: "exit id mismatch",
+			corrupt: func(t *testing.T, e *Engine) {
+				if len(e.exits) == 0 {
+					t.Skip("no exits")
+				}
+				e.exits[0].id++
+			},
+			want: "exit 0 carries id",
+		},
+		{
+			name: "ibtc mirror diverges from memory",
+			corrupt: func(t *testing.T, e *Engine) {
+				for i := range e.ibtc {
+					if e.ibtc[i].valid {
+						e.Mem.Write64(uint64(ibtcBase)+uint64(i)*16+8, 0xdead)
+						return
+					}
+				}
+				t.Skip("no valid ibtc entries")
+			},
+			want: "ibtc",
+		},
+		{
+			name: "blacklisted block translated",
+			corrupt: func(t *testing.T, e *Engine) {
+				e.blacklist[anyBlock(e).guestPC] = true
+			},
+			want: "blacklisted",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := invariantEngine(t)
+			tc.corrupt(t, e)
+			err := e.CheckInvariants()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSelfCheckLatchesIntoRun: with SelfCheck on, a corruption introduced
+// mid-run surfaces as a Run error instead of silent state divergence.
+func TestSelfCheckLatchesIntoRun(t *testing.T) {
+	e := invariantEngine(t)
+	e.Opt.SelfCheck = true
+	anyB := func() *block {
+		for _, b := range e.blocks {
+			return b
+		}
+		return nil
+	}
+	anyB().guestPC++ // plant corruption
+	e.selfCheck("test")
+	if e.invariantErr == nil {
+		t.Fatal("selfCheck did not latch the violation")
+	}
+	if err := e.Run(uint32(guest.CodeBase), 1_000_000); err == nil ||
+		!strings.Contains(err.Error(), "block map key") {
+		t.Fatalf("Run = %v, want latched invariant error", err)
+	}
+}

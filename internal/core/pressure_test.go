@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mdabt/internal/guest"
+)
+
+// pressureProgram is a multi-phase workload: enough distinct hot blocks
+// with misaligned traffic that a tiny code cache must flush repeatedly.
+func pressureProgram(t *testing.T) []byte {
+	t.Helper()
+	return buildImg(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.MovImm(guest.EAX, 0)
+		for ph := 0; ph < 10; ph++ {
+			b.MovImm(guest.ECX, 0)
+			b.Label(fmt.Sprintf("p%d", ph))
+			b.Load(guest.LD4, guest.EDX, guest.MemRef{Base: guest.EBX, Disp: int32(ph*5 + 2)})
+			b.ALU(guest.ADDrr, guest.EAX, guest.EDX)
+			b.Store(guest.ST2, guest.MemRef{Base: guest.EBX, Disp: int32(96 + ph*7 + 1)}, guest.EAX)
+			b.ALUImm(guest.ADDri, guest.ECX, 1)
+			b.CmpImm(guest.ECX, 30)
+			b.Jcc(guest.L, fmt.Sprintf("p%d", ph))
+		}
+		b.Halt()
+	})
+}
+
+// TestCachePressureAllMechanisms squeezes every mechanism through a code
+// cache far too small for the working set: each run must flush at least
+// once, stay invariant-clean, and still produce the reference final state.
+func TestCachePressureAllMechanisms(t *testing.T) {
+	img := pressureProgram(t)
+	data := patternData(256)
+	refCPU, refArena := reference(t, img, data)
+	static := censusSites(t, img, data)
+
+	for _, mech := range []Mechanism{Direct, StaticProfile, DynamicProfile, ExceptionHandling, DPEH} {
+		opt := DefaultOptions(mech)
+		switch mech {
+		case StaticProfile:
+			opt.StaticSites = static
+		case DynamicProfile, DPEH:
+			opt.HeatThreshold = 3
+		}
+		opt.CodeCacheBytes = 512
+		opt.SelfCheck = true
+		label := fmt.Sprintf("pressure/%v", mech)
+		gotCPU, gotArena, e := runDBT(t, img, data, opt)
+		compareState(t, label, refCPU, gotCPU, refArena, gotArena)
+		if err := e.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", label, err)
+		}
+		if e.Stats().Flushes == 0 {
+			t.Errorf("%s: expected at least one flush in a 512-byte cache", label)
+		}
+	}
+}
+
+// TestRetainedMDASurvivesFlush asserts the exception handler's
+// trap-discovered site knowledge outlives a full cache flush: the
+// retranslation after an explicit flush must inline every retained site.
+// The workload flips its pointer misaligned only after the hot loop has
+// been translated, so even DPEH (whose profiling phase catches steadily
+// misaligned sites up front) must discover the sites through traps.
+func TestRetainedMDASurvivesFlush(t *testing.T) {
+	img := buildImg(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase) // aligned base, flips at 150
+		b.MovImm(guest.ECX, 0)
+		b.MovImm(guest.EAX, 0)
+		b.Label("loop")
+		b.Load(guest.LD4, guest.EDX, guest.MemRef{Base: guest.EBX, Disp: 4})
+		b.ALU(guest.ADDrr, guest.EAX, guest.EDX)
+		b.Store(guest.ST4, guest.MemRef{Base: guest.EBX, Disp: 12}, guest.EAX)
+		b.ALUImm(guest.ADDri, guest.ECX, 1)
+		b.CmpImm(guest.ECX, 150)
+		b.Jcc(guest.E, "flip")
+		b.CmpImm(guest.ECX, 300)
+		b.Jcc(guest.L, "loop")
+		b.Halt()
+		b.Label("flip")
+		b.ALUImm(guest.ADDri, guest.EBX, 1) // now misaligned
+		b.Jmp("loop")
+	})
+	data := patternData(256)
+	for _, mech := range []Mechanism{ExceptionHandling, DPEH} {
+		opt := DefaultOptions(mech)
+		if mech == DPEH {
+			opt.HeatThreshold = 3
+		}
+		opt.SelfCheck = true
+		_, _, e := runDBT(t, img, data, opt)
+		checked := 0
+		for pc, want := range e.retainedMDA {
+			if len(want) == 0 {
+				continue
+			}
+			e.flushAll()
+			b, err := e.ensureTranslated(pc)
+			if err != nil {
+				t.Fatalf("%v: retranslate %#x after flush: %v", mech, pc, err)
+			}
+			for idx := range want {
+				if !b.knownMDA[idx] {
+					t.Errorf("%v: block %#x lost retained MDA site #%d across the flush", mech, pc, idx)
+				}
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("%v: no retained MDA sites were discovered; the workload is not exercising the handler", mech)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Errorf("%v: %v", mech, err)
+		}
+	}
+}
+
+// TestBlockTooLargeFallsBackToInterpreter runs with a cache too small for
+// the hot blocks: the oversized ones must be blacklisted to the
+// interpreter and the program must still complete with the reference
+// state.
+func TestBlockTooLargeFallsBackToInterpreter(t *testing.T) {
+	img := pressureProgram(t)
+	data := patternData(256)
+	refCPU, refArena := reference(t, img, data)
+	for _, mech := range []Mechanism{ExceptionHandling, DPEH} {
+		opt := DefaultOptions(mech)
+		if mech == DPEH {
+			opt.HeatThreshold = 2
+		}
+		opt.CodeCacheBytes = 64
+		opt.SelfCheck = true
+		label := fmt.Sprintf("toolarge/%v", mech)
+		gotCPU, gotArena, e := runDBT(t, img, data, opt)
+		compareState(t, label, refCPU, gotCPU, refArena, gotArena)
+		s := e.Stats()
+		if s.InterpFallbacks == 0 {
+			t.Errorf("%s: expected interpreter fallbacks with a 64-byte cache", label)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", label, err)
+		}
+	}
+}
+
+// TestStubZoneReclaimedOnFlush is the allocator-level check that a reset
+// reclaims the exception handler's stub zone, not just the block zone.
+func TestStubZoneReclaimedOnFlush(t *testing.T) {
+	cc := newCodeCache(256, nil)
+	for {
+		if _, err := cc.allocStub(64); err != nil {
+			break
+		}
+	}
+	if cc.stubZoneBytes() == 0 {
+		t.Fatal("stub zone empty after filling it")
+	}
+	if _, err := cc.allocStub(64); err == nil {
+		t.Fatal("allocStub succeeded in a full zone")
+	}
+	cc.reset()
+	if cc.stubZoneBytes() != 0 {
+		t.Fatalf("stubZoneBytes = %d after reset, want 0", cc.stubZoneBytes())
+	}
+	if _, err := cc.allocStub(64); err != nil {
+		t.Fatalf("allocStub after reset: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/host"
 )
@@ -268,12 +269,14 @@ func (em *emitter) adaptiveAccess(idx int, k memKind, data host.Reg, base host.R
 	a.Mem(host.LDA, tmpEA, disp, base)
 	a.OprLit(host.AND, tmpEA, uint8(k.size()-1), tmpCond)
 	a.Br(host.BNE, tmpCond, mda)
-	// Aligned: bump the streak counter.
-	a.MovImm(tmpImm, int64(ctr))
-	a.Mem(host.LDL, tmpA, 0, tmpImm)
-	a.OprLit(host.ADDL, tmpA, 1, tmpA)
-	a.Mem(host.STL, tmpA, 0, tmpImm)
-	a.OprLit(host.CMPLT, tmpA, em.e.Opt.AdaptiveStreak, tmpCond)
+	// Aligned: bump the streak counter. The counter lives in tmpC/tmpD
+	// (MDA scratch): data may be tmpImm (a CALL's pushed return address)
+	// or tmpIndirect (a RET's target) and must survive until the arms.
+	a.MovImm(tmpC, int64(ctr))
+	a.Mem(host.LDL, tmpD, 0, tmpC)
+	a.OprLit(host.ADDL, tmpD, 1, tmpD)
+	a.Mem(host.STL, tmpD, 0, tmpC)
+	a.OprLit(host.CMPLT, tmpD, em.e.Opt.AdaptiveStreak, tmpCond)
 	a.Br(host.BNE, tmpCond, aligned)
 	// Streak exhausted: ask the BT monitor to revert this site.
 	if em.record {
@@ -286,8 +289,8 @@ func (em *emitter) adaptiveAccess(idx int, k memKind, data host.Reg, base host.R
 	emitPlain(a, k, data, base, disp) // guarded: cannot trap
 	a.Br(host.BR, host.Zero, end)
 	a.Label(mda)
-	a.MovImm(tmpImm, int64(ctr))
-	a.Mem(host.STL, host.Zero, 0, tmpImm) // reset the streak
+	a.MovImm(tmpC, int64(ctr))
+	a.Mem(host.STL, host.Zero, 0, tmpC) // reset the streak
 	emitMDA(a, k, data, base, disp)
 	a.Label(end)
 	if em.record {
@@ -793,6 +796,9 @@ func (e *Engine) sitePolicies(b *block) (map[int]sitePolicy, bool) {
 // profile. It registers the unit, writes its code into the machine, and
 // charges translation cost.
 func (e *Engine) translate(pc uint32) (*block, error) {
+	if e.Opt.FaultPlan.Should(faultinject.Translate) {
+		return nil, errInjectedTranslate
+	}
 	insts, lens, pcs, err := e.decodeBlock(pc)
 	if err != nil {
 		return nil, err
@@ -886,6 +892,7 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 	}
 	cost := e.Opt.TranslateFixedCycles + e.Opt.TranslateCyclesPerInst*uint64(len(insts))
 	e.Mach.AddCycles(cost)
+	e.selfCheck("translate")
 	return b, nil
 }
 

@@ -1,0 +1,222 @@
+// Package faultinject provides a deterministic, seeded fault plan for
+// chaos-testing the DBT engine and the machine simulator.
+//
+// A Plan names a set of injection points (Point) and, per point, when the
+// fault fires: with a fixed probability per check, at explicit occurrence
+// counts, or both. All randomness derives from the plan seed and each
+// point keeps an independent PRNG stream, so a given (seed, plan, program)
+// triple replays the exact same fault schedule — failures found by the
+// chaos suite are reproducible by construction.
+//
+// The consumer side is a single call:
+//
+//	if plan.Should(faultinject.AllocBlock) { return 0, errCodeCacheFull }
+//
+// Should is safe on a nil *Plan (it reports false), so production paths
+// thread a plan through unconditionally and pay one nil check when fault
+// injection is disabled.
+//
+// A Plan is not safe for concurrent use; each engine instance owns one.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Point names one fault-injection site in the engine or machine.
+type Point string
+
+// The defined injection points.
+const (
+	// AllocBlock fails a code-cache block-body allocation (reported as
+	// code-cache-full, driving the flush ladder).
+	AllocBlock Point = "codecache.alloc-block"
+	// AllocStub fails a stub-zone allocation in the exception handler.
+	AllocStub Point = "codecache.alloc-stub"
+	// Translate fails a block translation before any state is touched.
+	Translate Point = "engine.translate"
+	// PatchRange forces a branch-displacement-out-of-range miss when the
+	// exception handler tries to patch a faulting instruction.
+	PatchRange Point = "engine.patch-range"
+	// ForcedFlush forces a full code-cache flush at the next dispatch.
+	ForcedFlush Point = "engine.forced-flush"
+	// SpuriousTrap delivers a misalignment trap on an aligned access.
+	SpuriousTrap Point = "machine.spurious-trap"
+	// DuplicateTrap redelivers a misalignment trap after its handler has
+	// already run once.
+	DuplicateTrap Point = "machine.duplicate-trap"
+)
+
+// Points returns every defined injection point.
+func Points() []Point {
+	return []Point{
+		AllocBlock, AllocStub, Translate, PatchRange,
+		ForcedFlush, SpuriousTrap, DuplicateTrap,
+	}
+}
+
+// trigger is the firing rule for one point.
+type trigger struct {
+	prob   float64
+	counts map[uint64]bool // fire on these 1-based check numbers
+	rng    *rand.Rand
+}
+
+// Plan is a reproducible fault schedule. The zero value is unusable; build
+// plans with New.
+type Plan struct {
+	seed     int64
+	triggers map[Point]*trigger
+	checks   map[Point]uint64
+	fired    map[Point]uint64
+	total    uint64
+	onFire   func(Point)
+}
+
+// New returns an empty plan (no point ever fires) with the given seed.
+func New(seed int64) *Plan {
+	return &Plan{
+		seed:     seed,
+		triggers: make(map[Point]*trigger),
+		checks:   make(map[Point]uint64),
+		fired:    make(map[Point]uint64),
+	}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// trigger returns (creating if needed) the trigger for pt, with a PRNG
+// stream derived from the plan seed and the point name so points are
+// independent of each other's check ordering.
+func (p *Plan) triggerFor(pt Point) *trigger {
+	tr := p.triggers[pt]
+	if tr == nil {
+		h := fnv.New64a()
+		h.Write([]byte(pt))
+		tr = &trigger{
+			counts: make(map[uint64]bool),
+			rng:    rand.New(rand.NewSource(p.seed ^ int64(h.Sum64()))),
+		}
+		p.triggers[pt] = tr
+	}
+	return tr
+}
+
+// Rate arms pt to fire with probability prob on every check. It returns
+// the plan for chaining.
+func (p *Plan) Rate(pt Point, prob float64) *Plan {
+	p.triggerFor(pt).prob = prob
+	return p
+}
+
+// RateAll arms every defined point with the same probability.
+func (p *Plan) RateAll(prob float64) *Plan {
+	for _, pt := range Points() {
+		p.Rate(pt, prob)
+	}
+	return p
+}
+
+// At arms pt to fire on the given 1-based occurrence numbers (the Nth call
+// to Should for that point), independent of any probability trigger.
+func (p *Plan) At(pt Point, occurrences ...uint64) *Plan {
+	tr := p.triggerFor(pt)
+	for _, n := range occurrences {
+		tr.counts[n] = true
+	}
+	return p
+}
+
+// Observe registers a callback invoked on every fired fault (used by the
+// engine to stamp EvFault events into its log).
+func (p *Plan) Observe(fn func(Point)) { p.onFire = fn }
+
+// Should reports whether the fault at pt fires now, and records the check.
+// It is safe on a nil plan.
+func (p *Plan) Should(pt Point) bool {
+	if p == nil {
+		return false
+	}
+	p.checks[pt]++
+	tr := p.triggers[pt]
+	if tr == nil {
+		return false
+	}
+	fire := tr.counts[p.checks[pt]]
+	if !fire && tr.prob > 0 && tr.rng.Float64() < tr.prob {
+		fire = true
+	}
+	if fire {
+		p.fired[pt]++
+		p.total++
+		if p.onFire != nil {
+			p.onFire(pt)
+		}
+	}
+	return fire
+}
+
+// Checks returns how many times pt has been consulted.
+func (p *Plan) Checks(pt Point) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.checks[pt]
+}
+
+// Fired returns how many times pt has fired.
+func (p *Plan) Fired(pt Point) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.fired[pt]
+}
+
+// Total returns the total number of injected faults across all points.
+func (p *Plan) Total() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// Counts returns a copy of the per-point fired counts (fired points only).
+func (p *Plan) Counts() map[Point]uint64 {
+	if p == nil {
+		return nil
+	}
+	out := make(map[Point]uint64, len(p.fired))
+	for pt, n := range p.fired {
+		out[pt] = n
+	}
+	return out
+}
+
+// String renders the plan's activity, one point per line, fired points
+// first.
+func (p *Plan) String() string {
+	if p == nil {
+		return "faultinject: disabled"
+	}
+	pts := Points()
+	sort.Slice(pts, func(i, j int) bool {
+		if p.fired[pts[i]] != p.fired[pts[j]] {
+			return p.fired[pts[i]] > p.fired[pts[j]]
+		}
+		return pts[i] < pts[j]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "faultinject: seed=%d total=%d", p.seed, p.total)
+	for _, pt := range pts {
+		if p.checks[pt] == 0 && p.fired[pt] == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n  %-26s fired %d / %d checks", pt, p.fired[pt], p.checks[pt])
+	}
+	return sb.String()
+}

@@ -1,0 +1,142 @@
+package faultinject
+
+import "testing"
+
+// TestNilPlanIsInert: nil receivers never fire and never panic.
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	for i := 0; i < 10; i++ {
+		if p.Should(AllocBlock) {
+			t.Fatal("nil plan fired")
+		}
+	}
+	if p.Total() != 0 || p.Fired(AllocBlock) != 0 || p.Checks(AllocBlock) != 0 {
+		t.Fatal("nil plan has nonzero counters")
+	}
+	if p.Counts() != nil {
+		t.Fatal("nil plan returned counts")
+	}
+	if p.String() != "faultinject: disabled" {
+		t.Fatalf("nil String() = %q", p.String())
+	}
+}
+
+// TestEmptyPlanNeverFires: a plan with no triggers records checks but
+// fires nothing.
+func TestEmptyPlanNeverFires(t *testing.T) {
+	p := New(1)
+	for i := 0; i < 1000; i++ {
+		if p.Should(Translate) {
+			t.Fatal("empty plan fired")
+		}
+	}
+	if p.Checks(Translate) != 1000 {
+		t.Fatalf("checks = %d, want 1000", p.Checks(Translate))
+	}
+	if p.Total() != 0 {
+		t.Fatalf("total = %d, want 0", p.Total())
+	}
+}
+
+// TestCountTriggersFireExactly: At fires on exactly the named occurrences.
+func TestCountTriggersFireExactly(t *testing.T) {
+	p := New(7).At(AllocStub, 3, 5)
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if p.Should(AllocStub) {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 5 {
+		t.Fatalf("fired at %v, want [3 5]", fires)
+	}
+	if p.Fired(AllocStub) != 2 || p.Total() != 2 {
+		t.Fatalf("fired=%d total=%d, want 2/2", p.Fired(AllocStub), p.Total())
+	}
+}
+
+// TestRateDeterminism: same seed and rate produce the identical firing
+// sequence; a different seed produces a different one.
+func TestRateDeterminism(t *testing.T) {
+	seq := func(seed int64) []bool {
+		p := New(seed).RateAll(0.2)
+		out := make([]bool, 500)
+		for i := range out {
+			out[i] = p.Should(SpuriousTrap)
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at check %d", i+1)
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical 500-check sequence")
+	}
+}
+
+// TestPointStreamsAreIndependent: interleaving checks of another point
+// does not perturb a point's firing schedule.
+func TestPointStreamsAreIndependent(t *testing.T) {
+	solo := New(9).RateAll(0.3)
+	var a []bool
+	for i := 0; i < 200; i++ {
+		a = append(a, solo.Should(AllocBlock))
+	}
+	mixed := New(9).RateAll(0.3)
+	var b []bool
+	for i := 0; i < 200; i++ {
+		mixed.Should(Translate) // interleaved traffic on another point
+		b = append(b, mixed.Should(AllocBlock))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("alloc-block stream perturbed by translate checks at %d", i+1)
+		}
+	}
+}
+
+// TestRateConverges: over many checks the empirical rate approaches the
+// configured probability.
+func TestRateConverges(t *testing.T) {
+	p := New(3).Rate(ForcedFlush, 0.01)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		p.Should(ForcedFlush)
+	}
+	got := float64(p.Fired(ForcedFlush)) / n
+	if got < 0.007 || got > 0.013 {
+		t.Fatalf("empirical rate %.4f, want ~0.01", got)
+	}
+}
+
+// TestObserverSeesEveryFire: the observer callback count matches Total.
+func TestObserverSeesEveryFire(t *testing.T) {
+	p := New(5).Rate(DuplicateTrap, 0.5).At(DuplicateTrap, 1)
+	seen := 0
+	p.Observe(func(pt Point) {
+		if pt != DuplicateTrap {
+			t.Fatalf("observer saw %q", pt)
+		}
+		seen++
+	})
+	for i := 0; i < 100; i++ {
+		p.Should(DuplicateTrap)
+	}
+	if uint64(seen) != p.Total() {
+		t.Fatalf("observer saw %d fires, plan total %d", seen, p.Total())
+	}
+	if p.Total() == 0 {
+		t.Fatal("plan never fired")
+	}
+}

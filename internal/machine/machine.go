@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"mdabt/internal/cache"
+	"mdabt/internal/faultinject"
 	"mdabt/internal/host"
 	"mdabt/internal/mem"
 )
@@ -118,6 +119,12 @@ type Machine struct {
 
 	caches  *cache.Hierarchy
 	handler MisalignHandler
+	// faults, when non-nil, injects trap-delivery anomalies: spurious
+	// misalignment traps on aligned accesses and duplicate delivery of a
+	// trap the handler already serviced. Both are safe against a correct
+	// handler (MDA sequences are alignment-agnostic; trap servicing is
+	// idempotent), which is exactly what the chaos tests assert.
+	faults *faultinject.Plan
 
 	counters Counters
 
@@ -198,6 +205,10 @@ func (m *Machine) SetReg(r host.Reg, v uint64) {
 // SetMisalignHandler registers the misalignment trap handler. A nil handler
 // restores the default OS-style behaviour: emulate the access and continue.
 func (m *Machine) SetMisalignHandler(h MisalignHandler) { m.handler = h }
+
+// SetFaultPlan installs a fault-injection plan for trap delivery. A nil
+// plan (the default) disables injection.
+func (m *Machine) SetFaultPlan(p *faultinject.Plan) { m.faults = p }
 
 // WriteCode copies host code into memory at addr and invalidates any decoded
 // instructions it covers. addr must be instruction-aligned.
@@ -329,7 +340,11 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 			default:
 				m.slotOpen = true // a memory op leaves an ALU slot open
 				size := inst.Op.MemSize()
-				if inst.Op.Aligns() && ea&uint64(size-1) != 0 {
+				// The short-circuit keeps the injection stream untouched by
+				// genuinely misaligned accesses: only aligned ones can draw a
+				// spurious trap.
+				if inst.Op.Aligns() && (ea&uint64(size-1) != 0 ||
+					m.faults.Should(faultinject.SpuriousTrap)) {
 					m.misalignTrap(inst, ea)
 					continue // handler set the resume PC
 				}
@@ -411,20 +426,28 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 	return StopLimit, 0, nil
 }
 
-// misalignTrap charges the trap cost and dispatches to the handler.
+// misalignTrap charges the trap cost and dispatches to the handler. With a
+// fault plan installed the serviced trap may be delivered again (duplicate
+// delivery): the full trap cost recharges and the handler reruns on the
+// original faulting PC — trap servicing must be, and is, idempotent.
 func (m *Machine) misalignTrap(inst host.Inst, ea uint64) {
-	m.counters.MisalignTraps++
-	m.counters.Cycles += m.Params.MisalignTrapCycles
-	m.counters.TrapCycles += m.Params.MisalignTrapCycles
 	pc := m.pc
-	if m.handler != nil {
-		m.pc = m.handler(m, pc, inst, ea)
-		if m.pc%host.InstBytes != 0 {
-			panic(fmt.Sprintf("machine: misalign handler returned misaligned pc %#x", m.pc))
+	for {
+		m.counters.MisalignTraps++
+		m.counters.Cycles += m.Params.MisalignTrapCycles
+		m.counters.TrapCycles += m.Params.MisalignTrapCycles
+		if m.handler != nil {
+			m.pc = m.handler(m, pc, inst, ea)
+			if m.pc%host.InstBytes != 0 {
+				panic(fmt.Sprintf("machine: misalign handler returned misaligned pc %#x", m.pc))
+			}
+		} else {
+			// Default OS behaviour: fix up the access in software and continue.
+			m.EmulateAccess(inst, ea)
+			m.pc = pc + host.InstBytes
 		}
-		return
+		if !m.faults.Should(faultinject.DuplicateTrap) {
+			return
+		}
 	}
-	// Default OS behaviour: fix up the access in software and continue.
-	m.EmulateAccess(inst, ea)
-	m.pc = pc + host.InstBytes
 }
