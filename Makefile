@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+BENCH_COUNT ?= 10
+
+.PHONY: all build test race bench bench-smoke bench-json fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# benchstat-ready output: repeated runs of the per-layer microbenchmarks.
+#   make bench > new.txt   (then: benchstat old.txt new.txt)
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/perfbench/
+
+# One iteration per benchmark across the repo — the CI smoke job.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Machine-readable summary (guest MIPS, ns/guest-inst, allocs) → BENCH_2.json.
+bench-json:
+	$(GO) run ./cmd/mdaeval -benchjson BENCH_2.json
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -22,6 +22,7 @@ import (
 	"mdabt/internal/guestasm"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
+	"mdabt/internal/profiling"
 	"mdabt/internal/workload"
 )
 
@@ -53,7 +54,19 @@ func main() {
 	selfcheck := flag.Bool("selfcheck", false, "validate engine invariants after every structural mutation and at exit")
 	faultRate := flag.Float64("fault-rate", 0, "inject faults at every injection point with this probability (chaos mode)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (with -fault-rate)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fail("%v", err)
+		}
+	}()
 
 	mech, ok := mechByName[*mechName]
 	if !ok {
@@ -154,6 +167,7 @@ func main() {
 		eng.EnableEventLog()
 	}
 	if err := eng.Run(entry, *budget); err != nil {
+		stopProfiles() // a budget-exhausted run is still worth profiling
 		fail("run: %v", err)
 	}
 

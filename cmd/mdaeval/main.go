@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"mdabt/internal/experiments"
+	"mdabt/internal/perfbench"
+	"mdabt/internal/profiling"
 )
 
 func main() {
@@ -26,7 +28,41 @@ func main() {
 	par := flag.Int("par", 0, "max concurrent benchmark runs (0 = NumCPU)")
 	budget := flag.Uint64("budget", 0, "per-run host-instruction budget (0 = default)")
 	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	benchJSON := flag.String("benchjson", "", "run the perfbench suite and write its JSON summary here, then exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdaeval: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdaeval: %v\n", err)
+		}
+	}()
+
+	if *benchJSON != "" {
+		sum, err := perfbench.Collect("")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdaeval: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sum.WriteFile(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "mdaeval: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range sum.Results {
+			fmt.Printf("%-18s %12.1f ns/op  %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+			if r.GuestMIPS > 0 {
+				fmt.Printf("  %8.1f guest-MIPS", r.GuestMIPS)
+			}
+			fmt.Println()
+		}
+		return
+	}
 
 	s := experiments.NewSession()
 	s.Parallelism = *par

@@ -38,9 +38,10 @@ type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint64
-	// tags[set*assoc+way]; lru[set*assoc+way] holds a recency stamp.
+	// tags[set*assoc+way] holds line+1, with 0 meaning invalid (folding the
+	// validity bit into the tag keeps the probe loop to one comparison);
+	// lru[set*assoc+way] holds a recency stamp.
 	tags  []uint64
-	valid []bool
 	lru   []uint64
 	clock uint64
 	stats Stats
@@ -69,7 +70,6 @@ func New(cfg Config) *Cache {
 		lineShift: lineShift,
 		setMask:   uint64(sets - 1),
 		tags:      make([]uint64, n),
-		valid:     make([]bool, n),
 		lru:       make([]uint64, n),
 	}
 }
@@ -81,15 +81,48 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // Access probes the cache for addr, allocating on miss. It reports whether
-// the access hit.
+// the access hit. The direct-mapped and 2-way geometries — the only ones in
+// the ES40 hierarchy — are specialized: together they sit on the simulator's
+// per-instruction path, so the generic way loop is worth bypassing.
 func (c *Cache) Access(addr uint64) bool {
 	c.stats.Accesses++
 	c.clock++
 	line := addr >> c.lineShift
+	key := line + 1
+	switch c.cfg.Assoc {
+	case 1:
+		set := int(line & c.setMask)
+		if c.tags[set] == key {
+			return true
+		}
+		c.stats.Misses++
+		c.tags[set] = key
+		return false
+	case 2:
+		set := int(line&c.setMask) * 2
+		t := c.tags[set : set+2 : set+2]
+		l := c.lru[set : set+2 : set+2]
+		if t[0] == key {
+			l[0] = c.clock
+			return true
+		}
+		if t[1] == key {
+			l[1] = c.clock
+			return true
+		}
+		c.stats.Misses++
+		w := 0
+		if t[0] != 0 && (t[1] == 0 || l[1] < l[0]) {
+			w = 1
+		}
+		t[w] = key
+		l[w] = c.clock
+		return false
+	}
 	set := int(line&c.setMask) * c.cfg.Assoc
 	// Hit?
 	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[set+w] && c.tags[set+w] == line {
+		if c.tags[set+w] == key {
 			c.lru[set+w] = c.clock
 			return true
 		}
@@ -98,7 +131,7 @@ func (c *Cache) Access(addr uint64) bool {
 	// Fill: pick an invalid way or the least recently used one.
 	victim := set
 	for w := 0; w < c.cfg.Assoc; w++ {
-		if !c.valid[set+w] {
+		if c.tags[set+w] == 0 {
 			victim = set + w
 			break
 		}
@@ -106,8 +139,7 @@ func (c *Cache) Access(addr uint64) bool {
 			victim = set + w
 		}
 	}
-	c.tags[victim] = line
-	c.valid[victim] = true
+	c.tags[victim] = key
 	c.lru[victim] = c.clock
 	return false
 }
@@ -117,7 +149,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.lineShift
 	set := int(line&c.setMask) * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[set+w] && c.tags[set+w] == line {
+		if c.tags[set+w] == line+1 {
 			return true
 		}
 	}
@@ -126,8 +158,8 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // Flush invalidates the entire cache. Statistics are preserved.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 }
 

@@ -46,8 +46,14 @@ type Engine struct {
 	exits    []*exit
 	sites    map[uint64]siteRef
 	profiles map[uint32]*blockProfile
-	siteProf map[uint32]*siteProfile // per-instruction alignment profiles
-	decoded  map[uint32]decEntry
+	// dec is the PC-indexed decode cache; its entries also carry the
+	// per-instruction alignment profiles (formerly separate maps).
+	dec decodeCache
+	// blockLUT is a direct-mapped, PC-indexed front for the blocks map on
+	// the dispatch path. Entries are filled on lookup and evicted when the
+	// block they name is invalidated (or wholesale on flush); CheckInvariants
+	// cross-checks every entry against the authoritative map.
+	blockLUT [blockLUTSize]blockLUTEntry
 	// retainedMDA records, per block start PC, the instruction indices the
 	// exception handler has seen trap; it survives block invalidation and
 	// cache flushes so retranslations inline the discovered sequences.
@@ -95,8 +101,6 @@ func NewEngine(m *mem.Memory, mach *machine.Machine, opt Options) *Engine {
 		blocks:      make(map[uint32]*block),
 		sites:       make(map[uint64]siteRef),
 		profiles:    make(map[uint32]*blockProfile),
-		siteProf:    make(map[uint32]*siteProfile),
-		decoded:     make(map[uint32]decEntry),
 		retainedMDA: make(map[uint32]map[int]bool),
 		reverted:    make(map[uint32]map[int]bool),
 		blacklist:   make(map[uint32]bool),
@@ -125,6 +129,49 @@ func (e *Engine) Stats() Stats {
 
 // Blocks returns the number of live translations.
 func (e *Engine) Blocks() int { return len(e.blocks) }
+
+// Block lookup table geometry: 4096 direct-mapped entries indexed by the
+// low bits of the guest PC.
+const (
+	blockLUTBits = 12
+	blockLUTSize = 1 << blockLUTBits
+	blockLUTMask = blockLUTSize - 1
+)
+
+// blockLUTEntry caches one blocks-map binding: guest PC → live block.
+type blockLUTEntry struct {
+	pc uint32
+	b  *block
+}
+
+// lookupBlock resolves pc to its live translation, consulting the
+// direct-mapped LUT before the map and filling the LUT on a map hit.
+func (e *Engine) lookupBlock(pc uint32) *block {
+	ent := &e.blockLUT[pc&blockLUTMask]
+	if ent.b != nil && ent.pc == pc {
+		return ent.b
+	}
+	b := e.blocks[pc]
+	if b != nil {
+		ent.pc, ent.b = pc, b
+	}
+	return b
+}
+
+// lutEvict drops b's LUT entry if present (block invalidation).
+func (e *Engine) lutEvict(b *block) {
+	ent := &e.blockLUT[b.guestPC&blockLUTMask]
+	if ent.b == b {
+		ent.b = nil
+	}
+}
+
+// lutClear empties the whole LUT (code cache flush).
+func (e *Engine) lutClear() {
+	for i := range e.blockLUT {
+		e.blockLUT[i] = blockLUTEntry{}
+	}
+}
 
 // CodeCacheUsed returns bytes allocated in the code cache.
 func (e *Engine) CodeCacheUsed() uint64 { return e.cc.used() }
@@ -285,6 +332,7 @@ func (e *Engine) invalidateBlock(b *block) {
 	e.event(EvInvalidate, b.guestPC, b.hostEntry, "")
 	b.invalid = true
 	delete(e.blocks, b.guestPC)
+	e.lutEvict(b)
 	if e.Opt.IBTC {
 		e.ibtcEvict(b.hostEntry, b.hostEntry+b.hostSize)
 	}
@@ -313,6 +361,7 @@ func (e *Engine) flushAll() {
 		b.invalid = true
 	}
 	e.blocks = make(map[uint32]*block)
+	e.lutClear()
 	e.exits = nil
 	e.sites = make(map[uint64]siteRef)
 	e.cc.reset()
@@ -365,11 +414,9 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 	e.halted = false
 	target := entry
 	resume := false // re-enter the machine at its current PC (adaptive revert)
-	budgetUsed := func() uint64 {
-		return e.Mach.Counters().Insts + e.stats.InterpretedInsts
-	}
 	for !e.halted {
-		if budgetUsed() >= maxHostInsts {
+		budgetUsed := e.Mach.Counters().Insts + e.stats.InterpretedInsts
+		if budgetUsed >= maxHostInsts {
 			e.syncToCPU()
 			return ErrBudget
 		}
@@ -396,18 +443,20 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 				target = next
 				continue
 			}
-			b, translated := e.blocks[target]
-			if !translated {
-				if e.Opt.usesProfilingPhase() && e.profile(target).heat < e.Opt.HeatThreshold {
-					e.syncToCPU()
-					e.profile(target).heat++
-					next, err := e.interpretBlock(target)
-					if err != nil {
-						return err
+			b := e.lookupBlock(target)
+			if b == nil {
+				if e.Opt.usesProfilingPhase() {
+					if p := e.profile(target); p.heat < e.Opt.HeatThreshold {
+						e.syncToCPU()
+						p.heat++
+						next, err := e.interpretBlock(target)
+						if err != nil {
+							return err
+						}
+						p.succ[next]++
+						target = next
+						continue
 					}
-					e.profile(target).succ[next]++
-					target = next
-					continue
 				}
 				var err error
 				b, err = e.ensureTranslated(target)
@@ -424,7 +473,9 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 		}
 		resume = false
 		e.stats.NativeBlockRuns++
-		remaining := maxHostInsts - budgetUsed()
+		// Nothing on the paths from the loop top to here retires host or
+		// interpreted instructions, so the budget snapshot is still exact.
+		remaining := maxHostInsts - budgetUsed
 		reason, payload, err := e.Mach.Run(remaining)
 		if err != nil {
 			return err
@@ -440,7 +491,7 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 			if payload == svcIndirect {
 				target = uint32(e.Mach.Reg(tmpIndirect))
 				if e.Opt.IBTC {
-					if tb, ok := e.blocks[target]; ok {
+					if tb := e.lookupBlock(target); tb != nil {
 						e.ibtcFill(target, tb.hostEntry)
 					}
 				}
@@ -478,8 +529,8 @@ func (e *Engine) maybeLink(ex *exit) {
 	if e.Opt.NoChain || ex.linked || ex.from.invalid {
 		return
 	}
-	tb, ok := e.blocks[ex.targetGuest]
-	if !ok {
+	tb := e.lookupBlock(ex.targetGuest)
+	if tb == nil {
 		return
 	}
 	d, fits := host.BrDispFor(ex.hostPC, tb.hostEntry)
@@ -554,7 +605,7 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 		e.invalidateBlock(b)
 		e.profiles[b.guestPC] = newBlockProfile() // restart dynamic profiling
 		for _, ipc := range b.instPCs {
-			delete(e.siteProf, ipc) // restart the per-site profiles too
+			e.dec.clearProf(ipc) // restart the per-site profiles too
 		}
 		e.event(EvRetranslate, b.guestPC, 0, "")
 		e.stats.Retranslations++

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"mdabt/internal/guest"
+	"mdabt/internal/mem"
+)
+
+// decEntry caches one decoded guest instruction together with its alignment
+// profile. Fusing the profile pointer into the decode entry removes the
+// separate per-memory-op profile map lookup from the interpreter's inner
+// loop: the entry is already in hand when the profile is updated.
+type decEntry struct {
+	inst guest.Inst
+	len  int          // 0 = not decoded yet
+	prof *siteProfile // lazily created on first profiled execution
+}
+
+// profile returns the entry's alignment profile, creating it on first use.
+func (de *decEntry) profile() *siteProfile {
+	if de.prof == nil {
+		de.prof = &siteProfile{}
+	}
+	return de.prof
+}
+
+// Guest code is loaded contiguously at guest.CodeBase, so the decode cache
+// is PC-indexed: a dense window of decDenseLimit bytes starting at the code
+// base, grown on demand, with a map fallback for the rare instruction
+// outside it (tests placing code elsewhere). One entry per byte address —
+// the guest ISA is variable-length, so any byte can start an instruction.
+const (
+	decDenseBase  = uint32(guest.CodeBase)
+	decDenseLimit = uint32(4 << 20)
+)
+
+// decodeCache is a PC-indexed cache of decoded guest instructions. The zero
+// value is ready to use. Guest code is immutable for the lifetime of a run
+// (the engine supports no guest self-modification), so entries are never
+// invalidated; per-site profiles can be reset individually (retranslation
+// restarts profiling).
+type decodeCache struct {
+	dense []decEntry // indexed by pc - decDenseBase
+	far   map[uint32]*decEntry
+}
+
+// entry returns the cache slot for pc, allocating backing storage as needed.
+func (c *decodeCache) entry(pc uint32) *decEntry {
+	if off := pc - decDenseBase; off < decDenseLimit {
+		if off >= uint32(len(c.dense)) {
+			newLen := uint32(2 * len(c.dense))
+			if newLen < off+64 {
+				newLen = off + 64
+			}
+			if newLen > decDenseLimit {
+				newLen = decDenseLimit
+			}
+			nd := make([]decEntry, newLen)
+			copy(nd, c.dense)
+			c.dense = nd
+		}
+		return &c.dense[off]
+	}
+	if c.far == nil {
+		c.far = make(map[uint32]*decEntry)
+	}
+	de := c.far[pc]
+	if de == nil {
+		de = new(decEntry)
+		c.far[pc] = de
+	}
+	return de
+}
+
+// peek returns the slot for pc without allocating, or nil if none exists.
+func (c *decodeCache) peek(pc uint32) *decEntry {
+	if off := pc - decDenseBase; off < decDenseLimit {
+		if off < uint32(len(c.dense)) {
+			return &c.dense[off]
+		}
+		return nil
+	}
+	return c.far[pc]
+}
+
+// decoded returns the decoded instruction entry for pc, decoding from m on a
+// cache miss.
+func (c *decodeCache) decoded(pc uint32, m *mem.Memory) (*decEntry, error) {
+	de := c.entry(pc)
+	if de.len == 0 {
+		var buf [guest.MaxInstLen]byte
+		m.ReadBytes(uint64(pc), buf[:])
+		inst, n, err := guest.Decode(buf[:])
+		if err != nil {
+			return nil, err
+		}
+		de.inst, de.len = inst, n
+	}
+	return de, nil
+}
+
+// profAt returns the alignment profile recorded for pc, or nil if the site
+// has never been profiled.
+func (c *decodeCache) profAt(pc uint32) *siteProfile {
+	if de := c.peek(pc); de != nil {
+		return de.prof
+	}
+	return nil
+}
+
+// clearProf drops pc's alignment profile (block retranslation restarts
+// profiling from scratch, §IV-C).
+func (c *decodeCache) clearProf(pc uint32) {
+	if de := c.peek(pc); de != nil {
+		de.prof = nil
+	}
+}
+
+// forEachProf calls fn for every site with a recorded alignment profile.
+func (c *decodeCache) forEachProf(fn func(pc uint32, p *siteProfile)) {
+	for i := range c.dense {
+		if p := c.dense[i].prof; p != nil {
+			fn(decDenseBase+uint32(i), p)
+		}
+	}
+	for pc, de := range c.far {
+		if de.prof != nil {
+			fn(pc, de.prof)
+		}
+	}
+}

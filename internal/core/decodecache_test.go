@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/mem"
+)
+
+// TestDecodeCacheDenseAndFar exercises both storage tiers of the PC-indexed
+// decode cache: the dense window anchored at guest.CodeBase and the map
+// fallback for out-of-window PCs.
+func TestDecodeCacheDenseAndFar(t *testing.T) {
+	m := mem.New()
+	var b guest.Builder
+	b.MovImm(guest.EAX, 7)
+	b.Halt()
+	img, err := b.Build(uint32(guest.CodeBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	farPC := decDenseBase + decDenseLimit + 0x100
+	m.WriteBytes(guest.CodeBase, img)
+	m.WriteBytes(uint64(farPC), img)
+
+	var c decodeCache
+	densePC := uint32(guest.CodeBase)
+
+	for _, pc := range []uint32{densePC, farPC} {
+		de, err := c.decoded(pc, m)
+		if err != nil {
+			t.Fatalf("decoded(%#x): %v", pc, err)
+		}
+		if de.inst.Op != guest.MOVri || de.len == 0 {
+			t.Fatalf("decoded(%#x) = op %v len %d, want MOVri", pc, de.inst.Op, de.len)
+		}
+		// Repeat lookups must hand back the same slot (profiles attach to it).
+		if again, _ := c.decoded(pc, m); again != de {
+			t.Fatalf("decoded(%#x) returned a different slot on repeat", pc)
+		}
+	}
+	if uint32(len(c.dense)) > decDenseLimit {
+		t.Fatalf("dense window grew to %d entries, past the %d limit", len(c.dense), decDenseLimit)
+	}
+	if c.far[farPC] == nil {
+		t.Fatalf("far PC %#x not in the map tier", farPC)
+	}
+
+	// peek never allocates: an untouched PC inside the window but past the
+	// grown prefix, and an untouched far PC, both report nil.
+	if de := c.peek(densePC + uint32(len(c.dense))); de != nil {
+		t.Fatal("peek past the grown dense prefix allocated a slot")
+	}
+	if de := c.peek(farPC + 0x1000); de != nil {
+		t.Fatal("peek of an unseen far PC allocated a slot")
+	}
+}
+
+// TestDecodeCacheProfiles covers the fused per-site alignment profiles:
+// lazy creation, profAt/clearProf, and forEachProf across both tiers.
+func TestDecodeCacheProfiles(t *testing.T) {
+	m := mem.New()
+	var b guest.Builder
+	b.MovImm(guest.EAX, 7)
+	b.Halt()
+	img, err := b.Build(uint32(guest.CodeBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	densePC := uint32(guest.CodeBase)
+	farPC := decDenseBase + decDenseLimit + 0x40
+	m.WriteBytes(guest.CodeBase, img)
+	m.WriteBytes(uint64(farPC), img)
+
+	var c decodeCache
+	for _, pc := range []uint32{densePC, farPC} {
+		if got := c.profAt(pc); got != nil {
+			t.Fatalf("profAt(%#x) = %p before any profiling", pc, got)
+		}
+		de, err := c.decoded(pc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := de.profile()
+		if p == nil || de.profile() != p {
+			t.Fatalf("profile() for %#x not stable", pc)
+		}
+		p.mda = 5
+		if got := c.profAt(pc); got != p {
+			t.Fatalf("profAt(%#x) = %p, want %p", pc, got, p)
+		}
+	}
+
+	seen := map[uint32]bool{}
+	c.forEachProf(func(pc uint32, p *siteProfile) {
+		if p.mda != 5 {
+			t.Errorf("forEachProf(%#x): mda = %d, want 5", pc, p.mda)
+		}
+		seen[pc] = true
+	})
+	if !seen[densePC] || !seen[farPC] {
+		t.Fatalf("forEachProf visited %v, want both %#x and %#x", seen, densePC, farPC)
+	}
+
+	// Retranslation resets a site's profile without touching the decode.
+	c.clearProf(densePC)
+	if got := c.profAt(densePC); got != nil {
+		t.Fatalf("profAt after clearProf = %p, want nil", got)
+	}
+	if de := c.peek(densePC); de == nil || de.len == 0 {
+		t.Fatal("clearProf dropped the decoded instruction")
+	}
+}

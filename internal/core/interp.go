@@ -7,12 +7,6 @@ import (
 	"mdabt/internal/mem"
 )
 
-// decEntry caches a decoded guest instruction for the interpreter.
-type decEntry struct {
-	inst guest.Inst
-	len  int
-}
-
 // interpretBlock interprets one execution of the basic block starting at
 // pc: it steps the reference CPU until a block-ending instruction has
 // executed (or the block-length cap is hit), collecting the MDA profile and
@@ -21,25 +15,18 @@ func (e *Engine) interpretBlock(pc uint32) (uint32, error) {
 	e.CPU.EIP = pc
 	for n := 0; n < maxBlockInsts; n++ {
 		cur := e.CPU.EIP
-		de, ok := e.decoded[cur]
-		if !ok {
-			var buf [guest.MaxInstLen]byte
-			e.Mem.ReadBytes(uint64(cur), buf[:])
-			inst, ln, err := guest.Decode(buf[:])
-			if err != nil {
-				return 0, fmt.Errorf("core: interpret at %#x: %w", cur, err)
-			}
-			de = decEntry{inst: inst, len: ln}
-			e.decoded[cur] = de
+		de, err := e.dec.decoded(cur, e.Mem)
+		if err != nil {
+			return 0, fmt.Errorf("core: interpret at %#x: %w", cur, err)
 		}
-		info, err := e.CPU.Exec(e.Mem, cur, de.inst, de.len)
+		info, err := e.CPU.Exec(e.Mem, cur, &de.inst, de.len)
 		if err != nil {
 			return 0, err
 		}
 		e.stats.InterpretedInsts++
 		e.Mach.AddCycles(e.Opt.InterpCyclesPerInst)
 		if info.IsMem && info.Size > 1 {
-			s := e.siteProfile(cur)
+			s := de.profile()
 			if info.MDA {
 				s.mda++
 				e.stats.InterpretedMDAs++
@@ -48,7 +35,7 @@ func (e *Engine) interpretBlock(pc uint32) (uint32, error) {
 			}
 		}
 		if info.IsMem2 {
-			s := e.siteProfile(cur)
+			s := de.profile()
 			if info.MDA2 {
 				s.mda++
 				e.stats.InterpretedMDAs++
@@ -65,17 +52,6 @@ func (e *Engine) interpretBlock(pc uint32) (uint32, error) {
 		}
 	}
 	return e.CPU.EIP, nil
-}
-
-// siteProfile returns (creating if needed) the alignment profile for the
-// instruction at pc.
-func (e *Engine) siteProfile(pc uint32) *siteProfile {
-	s := e.siteProf[pc]
-	if s == nil {
-		s = &siteProfile{}
-		e.siteProf[pc] = s
-	}
-	return s
 }
 
 // profile returns (creating if needed) the block profile for pc.
@@ -156,48 +132,48 @@ func RunCensus(m *mem.Memory, entry uint32, maxInsts uint64) (*Census, error) {
 	cpu := &guest.CPU{}
 	cpu.Reset(entry)
 	c := &Census{Sites: make(map[uint32]*CensusSite)}
-	decoded := make(map[uint32]decEntry)
+	// Per-site counts accumulate in the decode-cache entries (no map hit per
+	// memory reference); the Sites map is materialized once at the end.
+	var dec decodeCache
 	for c.Insts < maxInsts && !cpu.Halted {
 		pc := cpu.EIP
-		de, ok := decoded[pc]
-		if !ok {
-			var buf [guest.MaxInstLen]byte
-			m.ReadBytes(uint64(pc), buf[:])
-			inst, n, err := guest.Decode(buf[:])
-			if err != nil {
-				return nil, fmt.Errorf("core: census at %#x: %w", pc, err)
-			}
-			de = decEntry{inst: inst, len: n}
-			decoded[pc] = de
+		de, err := dec.decoded(pc, m)
+		if err != nil {
+			return nil, fmt.Errorf("core: census at %#x: %w", pc, err)
 		}
-		info, err := cpu.Exec(m, pc, de.inst, de.len)
+		info, err := cpu.Exec(m, pc, &de.inst, de.len)
 		if err != nil {
 			return nil, err
 		}
 		c.Insts++
-		record := func(isMem bool, size int, mda bool) {
-			if !isMem {
-				return
-			}
+		if info.IsMem {
 			c.MemRefs++
-			if size <= 1 {
-				return
-			}
-			s := c.Sites[pc]
-			if s == nil {
-				s = &CensusSite{PC: pc}
-				c.Sites[pc] = s
-			}
-			if mda {
-				s.MDA++
-				c.MDAs++
-			} else {
-				s.Aligned++
+			if info.Size > 1 {
+				s := de.profile()
+				if info.MDA {
+					s.mda++
+					c.MDAs++
+				} else {
+					s.aligned++
+				}
 			}
 		}
-		record(info.IsMem, info.Size, info.MDA)
-		record(info.IsMem2, info.Size2, info.MDA2)
+		if info.IsMem2 {
+			c.MemRefs++
+			if info.Size2 > 1 {
+				s := de.profile()
+				if info.MDA2 {
+					s.mda++
+					c.MDAs++
+				} else {
+					s.aligned++
+				}
+			}
+		}
 	}
+	dec.forEachProf(func(pc uint32, p *siteProfile) {
+		c.Sites[pc] = &CensusSite{PC: pc, MDA: p.mda, Aligned: p.aligned}
+	})
 	c.Halted = cpu.Halted
 	c.FinalCPU = *cpu
 	return c, nil

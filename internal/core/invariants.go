@@ -125,6 +125,24 @@ func (e *Engine) CheckInvariants() error {
 		}
 	}
 
+	// Block lookup table: every live entry must agree with the authoritative
+	// blocks map — a stale entry would dispatch into invalidated code.
+	for i := range e.blockLUT {
+		ent := &e.blockLUT[i]
+		if ent.b == nil {
+			continue
+		}
+		if int(ent.pc&blockLUTMask) != i {
+			return fmt.Errorf("core: invariant: block LUT slot %d holds guest %#x which maps elsewhere", i, ent.pc)
+		}
+		if ent.b.invalid {
+			return fmt.Errorf("core: invariant: block LUT slot %d holds invalidated block %#x", i, ent.pc)
+		}
+		if e.blocks[ent.pc] != ent.b {
+			return fmt.Errorf("core: invariant: block LUT slot %d for guest %#x disagrees with the block map", i, ent.pc)
+		}
+	}
+
 	// Degradation ladder: a blacklisted block must never be translated —
 	// the two dispatch paths would race over the same guest PC.
 	for pc := range e.blacklist {

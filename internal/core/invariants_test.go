@@ -118,6 +118,32 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 			},
 			want: "blacklisted",
 		},
+		{
+			name: "block LUT entry in wrong slot",
+			corrupt: func(t *testing.T, e *Engine) {
+				b := anyBlock(e)
+				e.blockLUT[(b.guestPC+1)&blockLUTMask] = blockLUTEntry{pc: b.guestPC + 1, b: b}
+			},
+			want: "block LUT",
+		},
+		{
+			name: "block LUT holds invalidated block",
+			corrupt: func(t *testing.T, e *Engine) {
+				b := anyBlock(e)
+				stale := &block{guestPC: b.guestPC, hostEntry: b.hostEntry, hostSize: b.hostSize, invalid: true}
+				e.blockLUT[b.guestPC&blockLUTMask] = blockLUTEntry{pc: b.guestPC, b: stale}
+			},
+			want: "block LUT",
+		},
+		{
+			name: "block LUT disagrees with block map",
+			corrupt: func(t *testing.T, e *Engine) {
+				b := anyBlock(e)
+				ghost := *b // live-looking copy the block map does not own
+				e.blockLUT[b.guestPC&blockLUTMask] = blockLUTEntry{pc: b.guestPC, b: &ghost}
+			},
+			want: "disagrees with the block map",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -22,21 +22,21 @@ const (
 	polAdaptive                   // streak-counting adaptive code (§IV-D, Fig. 8 right)
 )
 
-// decodeBlock decodes the basic block starting at pc from guest memory.
+// decodeBlock decodes the basic block starting at pc from guest memory,
+// through the engine's PC-indexed decode cache (translations and the
+// interpreter share decoded instructions).
 func (e *Engine) decodeBlock(pc uint32) (insts []guest.Inst, lens []int, pcs []uint32, err error) {
 	cur := pc
 	for len(insts) < maxBlockInsts {
-		var buf [guest.MaxInstLen]byte
-		e.Mem.ReadBytes(uint64(cur), buf[:])
-		inst, n, derr := guest.Decode(buf[:])
+		de, derr := e.dec.decoded(cur, e.Mem)
 		if derr != nil {
 			return nil, nil, nil, fmt.Errorf("core: decode block at %#x: %w", cur, derr)
 		}
-		insts = append(insts, inst)
-		lens = append(lens, n)
+		insts = append(insts, de.inst)
+		lens = append(lens, de.len)
 		pcs = append(pcs, cur)
-		cur += uint32(n)
-		if inst.Op.EndsBlock() {
+		cur += uint32(de.len)
+		if de.inst.Op.EndsBlock() {
 			break
 		}
 	}
@@ -764,7 +764,7 @@ func (e *Engine) sitePolicies(b *block) (map[int]sitePolicy, bool) {
 				pol[idx] = polSeq
 			}
 			{
-				if s, ok := e.siteProf[instPC]; ok && s.mda > 0 {
+				if s := e.dec.profAt(instPC); s != nil && s.mda > 0 {
 					pol[idx] = polSeq
 					// Multi-version: a sometimes-aligned site gets the
 					// guarded two-shape form (§IV-D).

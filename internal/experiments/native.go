@@ -62,7 +62,7 @@ func (s *Session) nativeCycles(name, variant string) (uint64, error) {
 			de = decoded{inst, n}
 			dcache[pc] = de
 		}
-		info, err := cpu.Exec(m, pc, de.inst, de.n)
+		info, err := cpu.Exec(m, pc, &de.inst, de.n)
 		if err != nil {
 			return 0, err
 		}

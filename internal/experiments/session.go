@@ -48,6 +48,9 @@ func (c Config) String() string {
 	if c.MultiVersion {
 		s += "+multiver"
 	}
+	if c.MVBlock {
+		s += "+mvblock"
+	}
 	if c.Adaptive {
 		s += "+adaptive"
 	}
@@ -95,6 +98,7 @@ type Session struct {
 	cens   map[string]*core.Census
 	runs   map[string]RunResult
 	native map[string]uint64
+	sites  map[string]map[uint32]bool // trainSites memo, keyed by benchmark
 }
 
 // NewSession returns a session with full-scale defaults.
@@ -105,6 +109,7 @@ func NewSession() *Session {
 		cens:   make(map[string]*core.Census),
 		runs:   make(map[string]RunResult),
 		native: make(map[string]uint64),
+		sites:  make(map[string]map[uint32]bool),
 	}
 }
 
@@ -183,18 +188,29 @@ func (s *Session) Census(name string, in workload.Input) (*core.Census, error) {
 	return c, nil
 }
 
-// trainSites derives the static (train-input) profile for a benchmark.
+// trainSites derives the static (train-input) profile for a benchmark,
+// memoized per benchmark: every static-profile configuration of the same
+// benchmark shares one derived site set. Callers must not mutate the result.
 func (s *Session) trainSites(name string) (map[uint32]bool, error) {
+	s.mu.Lock()
+	sites, ok := s.sites[name]
+	s.mu.Unlock()
+	if ok {
+		return sites, nil
+	}
 	c, err := s.Census(name, workload.Train)
 	if err != nil {
 		return nil, err
 	}
-	sites := make(map[uint32]bool)
+	sites = make(map[uint32]bool)
 	for pc, site := range c.Sites {
 		if site.MDA > 0 {
 			sites[pc] = true
 		}
 	}
+	s.mu.Lock()
+	s.sites[name] = sites
+	s.mu.Unlock()
 	return sites, nil
 }
 

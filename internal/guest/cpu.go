@@ -38,7 +38,7 @@ func (c *CPU) Reset(entry uint32) {
 // is reported through the *2 fields.
 type StepInfo struct {
 	PC      uint32 // address of the instruction
-	Inst    Inst
+	Op      Op
 	Len     int    // encoded length
 	IsMem   bool   // performed a data memory access
 	EA      uint32 // effective address of that access
@@ -137,14 +137,16 @@ func (c *CPU) Step(m *mem.Memory) (StepInfo, error) {
 	if err != nil {
 		return StepInfo{}, fmt.Errorf("guest: step at %#x: %w", c.EIP, err)
 	}
-	info, err := c.Exec(m, c.EIP, inst, n)
+	info, err := c.Exec(m, c.EIP, &inst, n)
 	return info, err
 }
 
 // Exec executes one already-decoded instruction located at pc with encoded
-// length n. EIP is advanced (or redirected for branches).
-func (c *CPU) Exec(m *mem.Memory, pc uint32, inst Inst, n int) (StepInfo, error) {
-	info := StepInfo{PC: pc, Inst: inst, Len: n}
+// length n. EIP is advanced (or redirected for branches). The instruction is
+// taken by pointer so cached decodes are executed without copying; Exec never
+// mutates it.
+func (c *CPU) Exec(m *mem.Memory, pc uint32, inst *Inst, n int) (StepInfo, error) {
+	info := StepInfo{PC: pc, Op: inst.Op, Len: n}
 	next := pc + uint32(n)
 	c.EIP = next
 

@@ -618,7 +618,7 @@ func TestRepMovsStepwiseEIP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if info.Inst.Op == REPMOVS4 {
+		if info.Op == REPMOVS4 {
 			repPCs = append(repPCs, info.PC)
 		}
 	}
@@ -643,7 +643,7 @@ func TestFlagsModel(t *testing.T) {
 		cpu := &CPU{}
 		cpu.R[EAX], cpu.R[EBX] = c.a, c.b
 		m := mem.New()
-		if _, err := cpu.Exec(m, 0, Inst{Op: ADDrr, R1: EAX, R2: EBX}, 2); err != nil {
+		if _, err := cpu.Exec(m, 0, &Inst{Op: ADDrr, R1: EAX, R2: EBX}, 2); err != nil {
 			t.Fatal(err)
 		}
 		sum := c.a + c.b
@@ -657,7 +657,7 @@ func TestFlagsModel(t *testing.T) {
 		// CMP (sub flags, operands unchanged)
 		cpu2 := &CPU{}
 		cpu2.R[EAX], cpu2.R[EBX] = c.a, c.b
-		if _, err := cpu2.Exec(m, 0, Inst{Op: CMPrr, R1: EAX, R2: EBX}, 2); err != nil {
+		if _, err := cpu2.Exec(m, 0, &Inst{Op: CMPrr, R1: EAX, R2: EBX}, 2); err != nil {
 			t.Fatal(err)
 		}
 		if cpu2.R[EAX] != c.a {
@@ -671,7 +671,7 @@ func TestFlagsModel(t *testing.T) {
 		cpu3 := &CPU{}
 		cpu3.CF, cpu3.OF = true, true
 		cpu3.R[EAX], cpu3.R[EBX] = c.a, c.b
-		if _, err := cpu3.Exec(m, 0, Inst{Op: ANDrr, R1: EAX, R2: EBX}, 2); err != nil {
+		if _, err := cpu3.Exec(m, 0, &Inst{Op: ANDrr, R1: EAX, R2: EBX}, 2); err != nil {
 			t.Fatal(err)
 		}
 		if cpu3.CF || cpu3.OF {

@@ -205,22 +205,32 @@ const (
 	FormatJmp               // jump: Ra, (Rb)
 )
 
-// FormatOf returns the encoding format of op.
-func FormatOf(op Op) Format {
-	switch {
-	case op == BRKBT:
-		return FormatPAL
-	case op >= LDA && op <= STQU:
-		return FormatMem
-	case op >= ADDL && op <= MSKQH:
-		return FormatOpr
-	case op >= BR && op <= BLBS:
-		return FormatBra
-	case op >= JMP && op <= RET:
-		return FormatJmp
+// formatTab is the precomputed op→format table; FormatOf is on the machine
+// simulator's per-instruction dispatch path, so it must be one indexed load.
+var formatTab = func() [numOps]Format {
+	var t [numOps]Format
+	for op := Op(0); op < numOps; op++ {
+		switch {
+		case op == BRKBT:
+			t[op] = FormatPAL
+		case op >= LDA && op <= STQU:
+			t[op] = FormatMem
+		case op >= ADDL && op <= MSKQH:
+			t[op] = FormatOpr
+		case op >= BR && op <= BLBS:
+			t[op] = FormatBra
+		case op >= JMP && op <= RET:
+			t[op] = FormatJmp
+		default:
+			panic(fmt.Sprintf("host: FormatOf(%d): unknown op", uint8(op)))
+		}
 	}
-	panic(fmt.Sprintf("host: FormatOf(%d): unknown op", uint8(op)))
-}
+	return t
+}()
+
+// FormatOf returns the encoding format of op. It panics on an op outside the
+// defined range.
+func FormatOf(op Op) Format { return formatTab[op] }
 
 // IsLoad reports whether op reads data memory.
 func (op Op) IsLoad() bool { return op >= LDBU && op <= LDQU }

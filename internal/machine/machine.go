@@ -131,7 +131,17 @@ type Machine struct {
 	// Decoded-instruction cache: one entry per 64-byte I-line, lazily
 	// filled. Patching code invalidates the affected line, which models the
 	// I-stream coherence actions (imb) a real BT must perform.
-	decoded   map[uint64]*iline
+	//
+	// Lines are held in a dense slice indexed by I-line offset from the
+	// first line ever fetched — in practice the bottom of the translated
+	// code cache, which is where all host execution lives — so the per-line
+	// lookup on the fetch path is an array index, not a map probe. Lines
+	// below the anchor or beyond the dense window (code placed far from the
+	// anchor by tests or exotic layouts) fall back to a map.
+	anchored  bool
+	denseBase uint64   // line ID of dense[0]; valid once anchored
+	dense     []*iline // grown on demand up to maxDenseLines
+	farLines  map[uint64]*iline
 	curLine   *iline
 	curLineID uint64
 	slotOpen  bool // an issue slot is open for an ALU-class instruction
@@ -140,6 +150,8 @@ type Machine struct {
 const (
 	ilineShift = 6
 	ilineInsts = (1 << ilineShift) / host.InstBytes
+	// maxDenseLines bounds the dense decode window (64 MiB of code).
+	maxDenseLines = (64 << 20) >> ilineShift
 )
 
 type iline struct {
@@ -150,9 +162,8 @@ type iline struct {
 // New creates a machine over m with cost model p.
 func New(m *mem.Memory, p Params) *Machine {
 	mc := &Machine{
-		Mem:     m,
-		Params:  p,
-		decoded: make(map[uint64]*iline),
+		Mem:    m,
+		Params: p,
 	}
 	if p.UseCaches {
 		mc.caches = cache.NewES40()
@@ -233,7 +244,8 @@ func (m *Machine) Patch(addr uint64, word uint32) {
 // barrier). WriteCode/Patch already invalidate precisely; IMB exists for
 // bulk invalidation such as a code cache flush.
 func (m *Machine) IMB() {
-	m.decoded = make(map[uint64]*iline)
+	clear(m.dense) // keep the window and its capacity; drop every line
+	clear(m.farLines)
 	m.curLine, m.curLineID = nil, 0
 }
 
@@ -241,25 +253,64 @@ func (m *Machine) invalidate(addr, size uint64) {
 	first := addr >> ilineShift
 	last := (addr + size - 1) >> ilineShift
 	for l := first; l <= last; l++ {
-		delete(m.decoded, l)
+		if off := l - m.denseBase; m.anchored && off < uint64(len(m.dense)) {
+			m.dense[off] = nil
+		} else if m.farLines != nil {
+			delete(m.farLines, l)
+		}
 		if l == m.curLineID {
 			m.curLine = nil
 		}
 	}
 }
 
+// line returns the (possibly empty) decoded line for lineID, anchoring the
+// dense window at the first line ever requested.
+func (m *Machine) line(lineID uint64) *iline {
+	if !m.anchored {
+		m.anchored = true
+		m.denseBase = lineID
+	}
+	if off := lineID - m.denseBase; off < maxDenseLines {
+		if off >= uint64(len(m.dense)) {
+			newLen := uint64(2 * len(m.dense))
+			if newLen < off+64 {
+				newLen = off + 64
+			}
+			if newLen > maxDenseLines {
+				newLen = maxDenseLines
+			}
+			nd := make([]*iline, newLen)
+			copy(nd, m.dense)
+			m.dense = nd
+		}
+		l := m.dense[off]
+		if l == nil {
+			l = new(iline)
+			m.dense[off] = l
+		}
+		return l
+	}
+	if m.farLines == nil {
+		m.farLines = make(map[uint64]*iline)
+	}
+	l := m.farLines[lineID]
+	if l == nil {
+		l = new(iline)
+		m.farLines[lineID] = l
+	}
+	return l
+}
+
 // fetch returns the decoded instruction at pc, charging I-cache latency on
-// line crossings.
-func (m *Machine) fetch(pc uint64) (host.Inst, error) {
+// line crossings. The returned pointer aliases the decode cache; it stays
+// valid across invalidation (lines are dropped, never reused) but callers
+// must not hold it across a fetch of different code.
+func (m *Machine) fetch(pc uint64) (*host.Inst, error) {
 	lineID := pc >> ilineShift
 	line := m.curLine
 	if line == nil || lineID != m.curLineID {
-		var ok bool
-		line, ok = m.decoded[lineID]
-		if !ok {
-			line = new(iline)
-			m.decoded[lineID] = line
-		}
+		line = m.line(lineID)
 		m.curLine, m.curLineID = line, lineID
 		if m.caches != nil {
 			m.counters.Cycles += uint64(m.caches.Fetch(pc))
@@ -269,12 +320,12 @@ func (m *Machine) fetch(pc uint64) (host.Inst, error) {
 	if !line.valid[slot] {
 		inst, err := host.Decode(m.Mem.Read32(pc))
 		if err != nil {
-			return host.Inst{}, fmt.Errorf("machine: fetch at %#x: %w", pc, err)
+			return nil, fmt.Errorf("machine: fetch at %#x: %w", pc, err)
 		}
 		line.inst[slot] = inst
 		line.valid[slot] = true
 	}
-	return line.inst[slot], nil
+	return &line.inst[slot], nil
 }
 
 // EmulateAccess performs inst's memory access at ea in software, ignoring
@@ -299,22 +350,51 @@ func (m *Machine) EmulateAccess(inst host.Inst, ea uint64) {
 // PC is left at the instruction after the BRKBT and the payload is returned.
 func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 	p := &m.Params
+	// The hottest loop in the simulator: the PC, current decoded I-line,
+	// issue-slot state, and the two per-instruction counters live in locals
+	// so each iteration runs out of registers instead of reloading Machine
+	// fields. They are written back (and re-read) at every point where other
+	// code can observe or change them: fetch misses, misalignment traps (the
+	// handler may patch code and charge cycles), and every return.
+	pc := m.pc
+	curLine, curLineID := m.curLine, m.curLineID
+	insts, cycles := m.counters.Insts, m.counters.Cycles
+	slotOpen := m.slotOpen
 	for n := uint64(0); n < maxInsts; n++ {
-		inst, err := m.fetch(m.pc)
-		if err != nil {
-			return StopLimit, 0, err
+		// Fetch, with the straight-line case — same decoded I-line, slot
+		// already decoded — inlined so the per-instruction path does not pay
+		// a call. Line crossings and decode misses go through fetch.
+		var inst *host.Inst
+		if curLine != nil && pc>>ilineShift == curLineID {
+			if slot := pc >> 2 & (ilineInsts - 1); curLine.valid[slot] {
+				inst = &curLine.inst[slot]
+			}
 		}
-		m.counters.Insts++
-		m.counters.Cycles++
-		nextPC := m.pc + host.InstBytes
+		if inst == nil {
+			m.counters.Cycles = cycles // fetch charges I-cache latency
+			var err error
+			inst, err = m.fetch(pc)
+			cycles = m.counters.Cycles
+			curLine, curLineID = m.curLine, m.curLineID
+			if err != nil {
+				m.pc = pc
+				m.counters.Insts = insts
+				m.slotOpen = slotOpen
+				return StopLimit, 0, err
+			}
+		}
+		insts++
+		cycles++
+		nextPC := pc + host.InstBytes
 
 		format := host.FormatOf(inst.Op)
 		switch format {
 		case host.FormatPAL:
-			m.slotOpen = false
 			m.counters.Brks++
-			m.counters.Cycles += p.BrkCycles
 			m.pc = nextPC
+			m.curLine, m.curLineID = curLine, curLineID
+			m.counters.Insts, m.counters.Cycles = insts, cycles+p.BrkCycles
+			m.slotOpen = false
 			if inst.Payload == HaltService {
 				return StopHalt, inst.Payload, nil
 			}
@@ -330,22 +410,29 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 					m.SetReg(inst.Ra, m.Reg(inst.Rb)+uint64(int64(inst.Disp))<<16)
 				}
 				if p.DualIssueALU {
-					if m.slotOpen {
-						m.counters.Cycles--
-						m.slotOpen = false
+					if slotOpen {
+						cycles--
+						slotOpen = false
 					} else {
-						m.slotOpen = true
+						slotOpen = true
 					}
 				}
 			default:
-				m.slotOpen = true // a memory op leaves an ALU slot open
+				slotOpen = true // a memory op leaves an ALU slot open
 				size := inst.Op.MemSize()
 				// The short-circuit keeps the injection stream untouched by
 				// genuinely misaligned accesses: only aligned ones can draw a
 				// spurious trap.
 				if inst.Op.Aligns() && (ea&uint64(size-1) != 0 ||
-					m.faults.Should(faultinject.SpuriousTrap)) {
-					m.misalignTrap(inst, ea)
+					(m.faults != nil && m.faults.Should(faultinject.SpuriousTrap))) {
+					m.pc = pc
+					m.counters.Insts, m.counters.Cycles = insts, cycles
+					m.slotOpen = slotOpen
+					m.misalignTrap(*inst, ea)
+					// The handler may have patched code and charged cycles.
+					pc = m.pc
+					insts, cycles = m.counters.Insts, m.counters.Cycles
+					curLine, curLineID = m.curLine, m.curLineID
 					continue // handler set the resume PC
 				}
 				access := ea
@@ -357,7 +444,7 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 					m.Mem.Write(access, m.Reg(inst.Ra), size)
 				} else {
 					m.counters.Loads++
-					m.counters.Cycles += p.LoadExtraCycles
+					cycles += p.LoadExtraCycles
 					v := m.Mem.Read(access, size)
 					if inst.Op == host.LDL {
 						v = uint64(int64(int32(v)))
@@ -365,10 +452,10 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 					m.SetReg(inst.Ra, v)
 				}
 				if m.caches != nil {
-					m.counters.Cycles += uint64(m.caches.Data(access))
+					cycles += uint64(m.caches.Data(access))
 				}
 			}
-			m.pc = nextPC
+			pc = nextPC
 
 		case host.FormatOpr:
 			bv := m.Reg(inst.Rb)
@@ -377,52 +464,56 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 			}
 			m.SetReg(inst.Rc, host.EvalOp(inst.Op, m.Reg(inst.Ra), bv))
 			if inst.Op == host.MULL || inst.Op == host.MULQ {
-				m.counters.Cycles += p.MulExtraCycles
-				m.slotOpen = false
+				cycles += p.MulExtraCycles
+				slotOpen = false
 			} else if p.DualIssueALU {
-				if m.slotOpen {
-					m.counters.Cycles-- // issued alongside the previous instruction
-					m.slotOpen = false
+				if slotOpen {
+					cycles-- // issued alongside the previous instruction
+					slotOpen = false
 				} else {
-					m.slotOpen = true
+					slotOpen = true
 				}
 			}
-			m.pc = nextPC
+			pc = nextPC
 
 		case host.FormatBra:
 			// An unconditional BR with no link register is a pure fetch
 			// redirect; the EV6 front end folds it (it can also dual-issue).
 			uncond := inst.Op == host.BR && inst.Ra == host.Zero
 			if uncond && p.DualIssueALU {
-				if m.slotOpen {
-					m.counters.Cycles--
-					m.slotOpen = false
+				if slotOpen {
+					cycles--
+					slotOpen = false
 				} else {
-					m.slotOpen = true
+					slotOpen = true
 				}
 			} else {
-				m.slotOpen = false
+				slotOpen = false
 			}
 			if host.BranchTaken(inst.Op, m.Reg(inst.Ra)) {
 				if inst.Op == host.BR || inst.Op == host.BSR {
 					m.SetReg(inst.Ra, nextPC)
 				}
-				m.pc = inst.BranchTarget(m.pc)
+				pc = inst.BranchTarget(pc)
 				if !uncond {
-					m.counters.Cycles += p.TakenBranchCycles
+					cycles += p.TakenBranchCycles
 				}
 			} else {
-				m.pc = nextPC
+				pc = nextPC
 			}
 
 		case host.FormatJmp:
-			m.slotOpen = false
+			slotOpen = false
 			target := m.Reg(inst.Rb) &^ 3
 			m.SetReg(inst.Ra, nextPC)
-			m.pc = target
-			m.counters.Cycles += p.TakenBranchCycles
+			pc = target
+			cycles += p.TakenBranchCycles
 		}
 	}
+	m.pc = pc
+	m.curLine, m.curLineID = curLine, curLineID
+	m.counters.Insts, m.counters.Cycles = insts, cycles
+	m.slotOpen = slotOpen
 	return StopLimit, 0, nil
 }
 

@@ -407,3 +407,74 @@ func BenchmarkTightLoop(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// TestPatchInvalidatesFarDecodedCache repeats the patch-coherence check for
+// code beyond the dense decode window: far lines live in a map tier, and a
+// patch there must invalidate the cached decode just like a dense one.
+func TestPatchInvalidatesFarDecodedCache(t *testing.T) {
+	m := newMachine(false)
+	// Anchor the dense window low, then run code far outside it.
+	load(t, m, 0x1000, func(a *host.Asm) {
+		a.Brk(HaltService)
+	})
+	run(t, m)
+	if !m.anchored {
+		t.Fatal("dense window not anchored by the first fetch")
+	}
+	farBase := 0x1000 + uint64(maxDenseLines)<<ilineShift + 0x2000
+	load(t, m, farBase, func(a *host.Asm) {
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.Brk(2)
+	})
+	if r, payload := run(t, m); r != StopBrk || payload != 2 {
+		t.Fatalf("stop = %v/%d", r, payload)
+	}
+	if len(m.farLines) == 0 {
+		t.Fatalf("code at %#x was not cached in the far tier", farBase)
+	}
+	// Patch the already-decoded far ADDQ into ADDQ r1, #5, r1.
+	m.Patch(farBase, host.MustEncode(host.Inst{Op: host.ADDQ, Ra: host.R1, Lit: 5, IsLit: true, Rc: host.R1}))
+	m.SetPC(farBase)
+	run(t, m)
+	if got := m.Reg(host.R1); got != 6 {
+		t.Fatalf("r1 = %d, want 6 (1 from old inst + 5 from patched)", got)
+	}
+}
+
+// TestIMBFlushesFarDecoded: IMB must drop far-tier decodes too.
+func TestIMBFlushesFarDecoded(t *testing.T) {
+	m := newMachine(false)
+	load(t, m, 0x1000, func(a *host.Asm) {
+		a.Brk(HaltService)
+	})
+	run(t, m)
+	farBase := 0x1000 + uint64(maxDenseLines)<<ilineShift + 0x4000
+	load(t, m, farBase, func(a *host.Asm) {
+		a.MovImm(host.R2, 11)
+		a.Brk(HaltService)
+	})
+	run(t, m)
+	if len(m.farLines) == 0 {
+		t.Fatal("far tier empty after executing far code")
+	}
+	// Rewrite the whole far body behind the decoder's back, then IMB.
+	a := host.NewAsm(farBase)
+	a.MovImm(host.R2, 77)
+	a.Brk(HaltService)
+	words, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		m.Mem.Write32(farBase+uint64(i)*4, w)
+	}
+	m.IMB()
+	if len(m.farLines) != 0 {
+		t.Fatalf("far tier holds %d lines after IMB, want 0", len(m.farLines))
+	}
+	m.SetPC(farBase)
+	run(t, m)
+	if got := m.Reg(host.R2); got != 77 {
+		t.Fatalf("r2 = %d, want 77 from the rewritten code", got)
+	}
+}

@@ -1,0 +1,60 @@
+package perfbench
+
+import (
+	"testing"
+)
+
+// runBench adapts a suite entry to the standard testing harness.
+func runBench(b *testing.B, bench Bench) {
+	b.Helper()
+	op, err := bench.Make()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+	if bench.UnitsPerOp > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(bench.UnitsPerOp),
+			"ns/"+bench.Unit)
+	}
+}
+
+func BenchmarkMemReadWrite(b *testing.B)    { runBench(b, MemReadWrite()) }
+func BenchmarkGuestExec(b *testing.B)       { runBench(b, GuestExec()) }
+func BenchmarkInterpreterLoop(b *testing.B) { runBench(b, InterpreterLoop()) }
+func BenchmarkDispatchLoop(b *testing.B)    { runBench(b, DispatchLoop()) }
+func BenchmarkEndToEnd(b *testing.B)        { runBench(b, EndToEnd()) }
+
+// TestSteadyStateAllocs pins the PR's allocation-free guarantee: after
+// warm-up, the simulated-memory fast paths and the translated-code dispatch
+// loop must not allocate. (AllocsPerRun performs one untimed warm-up call,
+// which absorbs lazy page/iline allocation.)
+func TestSteadyStateAllocs(t *testing.T) {
+	for _, bench := range []Bench{MemReadWrite(), DispatchLoop()} {
+		op, err := bench.Make()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		if allocs := testing.AllocsPerRun(20, op); allocs > 0 {
+			t.Errorf("%s: %v allocs per op in steady state, want 0", bench.Name, allocs)
+		}
+	}
+}
+
+// TestSuiteRuns smoke-tests every suite entry: one op each must complete
+// without panicking (the suite's ops panic on internal errors).
+func TestSuiteRuns(t *testing.T) {
+	for _, bench := range Suite() {
+		op, err := bench.Make()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		op()
+		if bench.UnitsPerOp == 0 {
+			t.Errorf("%s: UnitsPerOp not set", bench.Name)
+		}
+	}
+}
