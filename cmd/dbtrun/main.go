@@ -49,6 +49,8 @@ func main() {
 	ibtc := flag.Bool("ibtc", false, "enable the indirect-branch translation cache")
 	adaptive := flag.Bool("adaptive", false, "enable §IV-D adaptive sites (DPEH)")
 	superblocks := flag.Bool("superblocks", false, "enable phase-2 trace formation (DPEH/dynprof)")
+	staticalign := flag.Bool("staticalign", false, "layer the static alignment analysis over the mechanism")
+	lint := flag.Bool("lint", false, "run the translation verifier over every emitted block after the run")
 	profileOut := flag.String("profile-out", "", "run a training census and write the profile database (JSON) here, then exit")
 	profileIn := flag.String("profile-in", "", "load a stored profile database for the static mechanism")
 	selfcheck := flag.Bool("selfcheck", false, "validate engine invariants after every structural mutation and at exit")
@@ -83,6 +85,7 @@ func main() {
 	opt.IBTC = *ibtc
 	opt.Adaptive = *adaptive
 	opt.Superblocks = *superblocks
+	opt.StaticAlign = *staticalign
 	opt.SelfCheck = *selfcheck
 	if *faultRate < 0 || *faultRate > 1 {
 		fail("-fault-rate must be in [0,1]")
@@ -191,6 +194,21 @@ func main() {
 	}
 	if opt.FaultPlan != nil {
 		fmt.Printf("injected faults:  %d (%s)\n", s.InjectedFaults, opt.FaultPlan)
+	}
+	if *staticalign {
+		fmt.Printf("static-align:     analyzed=%d sites aligned=%d misaligned=%d unknown=%d violations=%d\n",
+			s.StaticAnalyzedInsts, s.StaticAlignedSites, s.StaticMisalignedSites,
+			s.StaticUnknownSites, s.StaticAlignViolations)
+	}
+	if *lint {
+		findings := eng.Lint()
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "dbtrun: lint: %s\n", f)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("lint:             ok (%d blocks clean)\n", len(eng.TranslatedPCs()))
 	}
 	if *selfcheck {
 		if err := eng.CheckInvariants(); err != nil {

@@ -31,7 +31,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	benchJSON := flag.String("benchjson", "", "run the perfbench suite and write its JSON summary here, then exit")
+	sitehist := flag.Bool("sitehist", false, "shorthand for -exp sitehist (per-benchmark alignment verdict histogram)")
 	flag.Parse()
+	if *sitehist {
+		*exp = "sitehist"
+	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {

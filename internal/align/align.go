@@ -1,0 +1,330 @@
+// Package align implements a static alignment analysis over guest code and
+// a structural verifier over emitted host code.
+//
+// The analysis runs an abstract interpretation with a per-register
+// alignment lattice: for each guest GPR it tracks how many of the low
+// address bits are known, as a residue modulo a power of two up to 8 (the
+// widest natural alignment any guest access needs). Transfer functions
+// model MOV/LEA/ALU/shift effects and the `base + index×scale + disp`
+// composition of guest.MemRef; a whole-program fixpoint over the statically
+// discovered control-flow graph propagates register facts across blocks
+// (and therefore across trace heads — verdicts are keyed by instruction
+// address, independent of how the translator groups instructions into
+// units). Every non-byte memory site is classified Aligned (provably
+// aligned on every execution), Misaligned (provably misaligned on every
+// execution), or Unknown.
+//
+// The classification is advisory for performance, never for correctness:
+// a site the translator emits plain on an Aligned verdict still resolves
+// through the OS-style fixup if the verdict was wrong, and an MDA sequence
+// emitted on a Misaligned verdict is correct for aligned addresses too.
+// The soundness cosim test in internal/experiments checks the verdicts
+// against the reference interpreter's observed behavior.
+package align
+
+import "mdabt/internal/guest"
+
+// Verdict classifies one memory site (or one access stream of a site).
+type Verdict uint8
+
+// Site classifications.
+const (
+	Unknown    Verdict = iota // alignment not statically decidable
+	Aligned                   // provably aligned on every execution
+	Misaligned                // provably misaligned on every execution
+)
+
+// String names the verdict for reports and dumps.
+func (v Verdict) String() string {
+	switch v {
+	case Aligned:
+		return "aligned"
+	case Misaligned:
+		return "misaligned"
+	}
+	return "unknown"
+}
+
+// maxKnown is the number of low bits the lattice tracks: 3 bits covers
+// residues mod 8, the widest alignment any guest access requires (FLD8).
+const maxKnown = 3
+
+// Fact is one register's abstract value: the register is known to be
+// ≡ r (mod 2^k). k = 0 is the no-information top element; k = maxKnown
+// pins the full residue mod 8. Every ring operation (add, sub, mul) and
+// bitwise operation on values is well-defined modulo 2^k, which is what
+// makes the transfer functions exact on the tracked bits.
+type Fact struct {
+	k uint8 // number of known low bits, 0..maxKnown
+	r uint8 // residue mod 2^k (always < 1<<k)
+}
+
+// top is the no-information fact.
+var top = Fact{}
+
+// factOf returns the exact fact for a concrete value.
+func factOf(v uint32) Fact {
+	return Fact{k: maxKnown, r: uint8(v & (1<<maxKnown - 1))}
+}
+
+// Known reports how many low bits of the value are pinned.
+func (f Fact) Known() uint8 { return f.k }
+
+// Residue returns the known residue mod 2^Known().
+func (f Fact) Residue() uint8 { return f.r }
+
+// trunc reduces f to at most k known bits.
+func (f Fact) trunc(k uint8) Fact {
+	if f.k <= k {
+		return f
+	}
+	return Fact{k: k, r: f.r & (1<<k - 1)}
+}
+
+// join is the lattice join (control-flow merge): keep the longest low-bit
+// prefix on which both facts agree.
+func (f Fact) join(g Fact) Fact {
+	k := f.k
+	if g.k < k {
+		k = g.k
+	}
+	for k > 0 && f.r&(1<<k-1) != g.r&(1<<k-1) {
+		k--
+	}
+	return Fact{k: k, r: f.r & (1<<k - 1)}
+}
+
+// add composes two facts under addition mod 2^min(k).
+func (f Fact) add(g Fact) Fact {
+	k := f.k
+	if g.k < k {
+		k = g.k
+	}
+	return Fact{k: k, r: (f.r + g.r) & (1<<k - 1)}
+}
+
+// addConst shifts a fact by a compile-time constant.
+func (f Fact) addConst(c int32) Fact {
+	return Fact{k: f.k, r: (f.r + uint8(uint32(c))) & (1<<f.k - 1)}
+}
+
+// binop applies a low-bits-determined binary operation (add/sub/mul/and/
+// or/xor): the low min(k) bits of the result depend only on the low bits
+// of the operands.
+func (f Fact) binop(g Fact, op func(a, b uint8) uint8) Fact {
+	k := f.k
+	if g.k < k {
+		k = g.k
+	}
+	return Fact{k: k, r: op(f.r, g.r) & (1<<k - 1)}
+}
+
+// andFact models bitwise AND: a result bit is known wherever both inputs
+// are known, or wherever either input has a known zero (masking an unknown
+// pointer with ^3 still pins the low bits). The lattice only stores a
+// known-low-bits prefix, so knowledge is cut at the first undecidable bit.
+func (f Fact) andFact(g Fact) Fact {
+	var out Fact
+	for i := uint8(0); i < maxKnown; i++ {
+		fKnown, gKnown := i < f.k, i < g.k
+		fBit, gBit := f.r>>i&1, g.r>>i&1
+		switch {
+		case fKnown && gKnown:
+			out.r |= (fBit & gBit) << i
+		case fKnown && fBit == 0, gKnown && gBit == 0:
+			// bit forced to zero by the known side
+		default:
+			return out
+		}
+		out.k = i + 1
+	}
+	return out
+}
+
+// orFact is the dual: a known one on either side pins the result bit.
+func (f Fact) orFact(g Fact) Fact {
+	var out Fact
+	for i := uint8(0); i < maxKnown; i++ {
+		fKnown, gKnown := i < f.k, i < g.k
+		fBit, gBit := f.r>>i&1, g.r>>i&1
+		switch {
+		case fKnown && gKnown:
+			out.r |= (fBit | gBit) << i
+		case fKnown && fBit == 1, gKnown && gBit == 1:
+			out.r |= 1 << i
+		default:
+			return out
+		}
+		out.k = i + 1
+	}
+	return out
+}
+
+// shiftLeft models v << s: every known low bit moves up, and s fresh zero
+// bits appear below, so knowledge grows (capped at maxKnown).
+func (f Fact) shiftLeft(s uint32) Fact {
+	if s >= maxKnown {
+		return Fact{k: maxKnown, r: 0}
+	}
+	k := f.k + uint8(s)
+	if k > maxKnown {
+		k = maxKnown
+	}
+	return Fact{k: k, r: (f.r << s) & (1<<k - 1)}
+}
+
+// State is the abstract register file at one program point.
+type State struct {
+	regs  [guest.NumRegs]Fact
+	valid bool // false = unreachable (bottom)
+}
+
+// EntryState is the abstract state at the program entry point: guest.CPU
+// Reset zeroes every GPR and sets ESP to StackTop, so every register has a
+// concrete (hence exactly known) low-bit residue.
+func EntryState() State {
+	var s State
+	s.valid = true
+	for i := range s.regs {
+		s.regs[i] = factOf(0)
+	}
+	s.regs[guest.ESP] = factOf(guest.StackTop)
+	return s
+}
+
+// Reg returns the fact for a register.
+func (s State) Reg(r guest.Reg) Fact { return s.regs[r] }
+
+// joinInto merges o into s, reporting whether s changed. Joining into an
+// unreachable state copies o.
+func (s *State) joinInto(o State) bool {
+	if !o.valid {
+		return false
+	}
+	if !s.valid {
+		*s = o
+		return true
+	}
+	changed := false
+	for i := range s.regs {
+		j := s.regs[i].join(o.regs[i])
+		if j != s.regs[i] {
+			s.regs[i] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// evalMem composes the abstract effective address of a guest memory
+// operand: base + index×scale + disp, all mod 2^k.
+func (s State) evalMem(m guest.MemRef) Fact {
+	f := s.regs[m.Base]
+	if m.HasIndex {
+		idx := s.regs[m.Index]
+		sh := uint32(0)
+		for 1<<sh != uint32(m.Scale) && sh < 4 {
+			sh++
+		}
+		f = f.add(idx.shiftLeft(sh))
+	}
+	return f.addConst(m.Disp)
+}
+
+// classify turns an effective-address fact into a verdict for an access of
+// the given size (a power of two ≤ 8). Deciding needs log2(size) known
+// low bits.
+func classify(ea Fact, size int) Verdict {
+	need := uint8(0)
+	for 1<<need < size {
+		need++
+	}
+	if need == 0 {
+		return Aligned // byte accesses never misalign
+	}
+	if ea.k < need {
+		return Unknown
+	}
+	if ea.r&(uint8(size)-1) == 0 {
+		return Aligned
+	}
+	return Misaligned
+}
+
+// step applies the transfer function of one instruction to s, returning
+// the state after it. Control-flow effects (where execution goes next) are
+// the analysis driver's concern; step only models the data effects.
+func step(s State, in guest.Inst) State {
+	switch in.Op {
+	case guest.MOVri:
+		s.regs[in.R1] = factOf(uint32(in.Imm))
+	case guest.MOVrr:
+		s.regs[in.R1] = s.regs[in.R2]
+	case guest.LEA:
+		s.regs[in.R1] = s.evalMem(in.Mem)
+	case guest.LD4, guest.LD2Z, guest.LD2S, guest.LD1Z, guest.LD1S:
+		s.regs[in.R1] = top // loaded values are not tracked
+	case guest.ADDrr:
+		s.regs[in.R1] = s.regs[in.R1].add(s.regs[in.R2])
+	case guest.SUBrr:
+		s.regs[in.R1] = s.regs[in.R1].binop(s.regs[in.R2], func(a, b uint8) uint8 { return a - b })
+	case guest.ANDrr:
+		s.regs[in.R1] = s.regs[in.R1].andFact(s.regs[in.R2])
+	case guest.ORrr:
+		s.regs[in.R1] = s.regs[in.R1].orFact(s.regs[in.R2])
+	case guest.XORrr:
+		if in.R1 == in.R2 {
+			s.regs[in.R1] = factOf(0) // xor r, r: the zero idiom
+		} else {
+			s.regs[in.R1] = s.regs[in.R1].binop(s.regs[in.R2], func(a, b uint8) uint8 { return a ^ b })
+		}
+	case guest.IMULrr:
+		s.regs[in.R1] = s.regs[in.R1].binop(s.regs[in.R2], func(a, b uint8) uint8 { return a * b })
+	case guest.ADDri:
+		s.regs[in.R1] = s.regs[in.R1].addConst(in.Imm)
+	case guest.SUBri:
+		s.regs[in.R1] = s.regs[in.R1].addConst(-in.Imm)
+	case guest.ANDri:
+		s.regs[in.R1] = s.regs[in.R1].andFact(factOf(uint32(in.Imm)))
+	case guest.ORri:
+		s.regs[in.R1] = s.regs[in.R1].orFact(factOf(uint32(in.Imm)))
+	case guest.XORri:
+		s.regs[in.R1] = s.regs[in.R1].binop(factOf(uint32(in.Imm)), func(a, b uint8) uint8 { return a ^ b })
+	case guest.IMULri:
+		s.regs[in.R1] = s.regs[in.R1].binop(factOf(uint32(in.Imm)), func(a, b uint8) uint8 { return a * b })
+	case guest.SHLri:
+		s.regs[in.R1] = s.regs[in.R1].shiftLeft(uint32(in.Imm) & 31)
+	case guest.SHRri, guest.SARri:
+		// Right shifts pull unknown higher bits into the low positions.
+		if uint32(in.Imm)&31 != 0 {
+			s.regs[in.R1] = top
+		}
+	case guest.PUSH:
+		s.regs[guest.ESP] = s.regs[guest.ESP].addConst(-4)
+	case guest.POP:
+		s.regs[in.R1] = top
+		if in.R1 != guest.ESP {
+			s.regs[guest.ESP] = s.regs[guest.ESP].addConst(4)
+		}
+	case guest.CALL:
+		// The call-site successor edge (to the target) sees the pushed
+		// return address; the analysis driver applies this step before
+		// following the edge.
+		s.regs[guest.ESP] = s.regs[guest.ESP].addConst(-4)
+	case guest.RET:
+		s.regs[guest.ESP] = s.regs[guest.ESP].addConst(4)
+	case guest.REPMOVS4:
+		// One iteration: ESI/EDI advance by 4 (alignment mod 4 invariant),
+		// ECX decrements. The self-loop in the CFG joins the iterations;
+		// the fallthrough edge pins ECX to zero (driver's concern).
+		s.regs[guest.ESI] = s.regs[guest.ESI].addConst(4)
+		s.regs[guest.EDI] = s.regs[guest.EDI].addConst(4)
+		s.regs[guest.ECX] = s.regs[guest.ECX].addConst(-1)
+	case guest.ST4, guest.ST2, guest.ST1, guest.FLD8, guest.FST8,
+		guest.CMPrr, guest.CMPri, guest.TESTrr,
+		guest.FADDrr, guest.FMOVrr,
+		guest.NOP, guest.HALT, guest.JMP, guest.JCC:
+		// No GPR effects.
+	}
+	return s
+}

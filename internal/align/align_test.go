@@ -1,0 +1,345 @@
+package align
+
+import (
+	"fmt"
+	"testing"
+
+	"mdabt/internal/guest"
+)
+
+// decoderFor wraps a built image as a Decoder rooted at base.
+func decoderFor(t *testing.T, base uint32, img []byte) Decoder {
+	t.Helper()
+	return func(pc uint32) (guest.Inst, int, error) {
+		off := pc - base
+		return guest.Decode(img[off:])
+	}
+}
+
+func analyze(t *testing.T, build func(b *guest.Builder)) *Analysis {
+	t.Helper()
+	b := guest.NewBuilder()
+	build(b)
+	img, err := b.Build(guest.CodeBase)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return Analyze(decoderFor(t, guest.CodeBase, img), guest.CodeBase)
+}
+
+func TestFactJoin(t *testing.T) {
+	cases := []struct {
+		a, b, want Fact
+	}{
+		{factOf(0), factOf(0), factOf(0)},
+		{factOf(4), factOf(4), factOf(4)},
+		{factOf(0), factOf(4), Fact{k: 2, r: 0}}, // agree mod 4
+		{factOf(1), factOf(3), Fact{k: 1, r: 1}}, // agree mod 2
+		{factOf(0), factOf(1), Fact{}},           // nothing in common
+		{Fact{k: 2, r: 2}, factOf(6), Fact{k: 2, r: 2}},
+		{top, factOf(0), top},
+	}
+	for _, c := range cases {
+		if got := c.a.join(c.b); got != c.want {
+			t.Errorf("join(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFactArith(t *testing.T) {
+	if got := factOf(6).add(factOf(6)); got != factOf(12&7) {
+		t.Errorf("6+6 mod 8 = %v", got)
+	}
+	if got := factOf(3).shiftLeft(2); got != factOf(12&7) {
+		t.Errorf("3<<2 = %v", got)
+	}
+	if got := (Fact{k: 1, r: 1}).shiftLeft(2); got != (Fact{k: 3, r: 4}) {
+		t.Errorf("odd<<2 = %v, want 4 mod 8", got)
+	}
+	if got := factOf(5).shiftLeft(3); got != factOf(0) {
+		t.Errorf("x<<3 = %v, want 0 mod 8", got)
+	}
+	// Right shifts forget everything.
+	if got := (Fact{k: 3, r: 4}).binop(top, func(a, b uint8) uint8 { return a }); got.k != 0 {
+		t.Errorf("binop with top kept %d bits", got.k)
+	}
+}
+
+func TestProvablyAlignedAndMisaligned(t *testing.T) {
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.EBX, Disp: 8})  // aligned
+		b.Load(guest.LD4, guest.ECX, guest.MemRef{Base: guest.EBX, Disp: 2})  // misaligned
+		b.Load(guest.LD2Z, guest.EDX, guest.MemRef{Base: guest.EBX, Disp: 6}) // 2-aligned
+		b.Load(guest.LD4, guest.ESI, guest.MemRef{Base: guest.EAX})           // loaded base: unknown
+		b.Halt()
+	})
+	wants := []Verdict{Aligned, Misaligned, Aligned, Unknown}
+	sites := sortedSites(a)
+	if len(sites) != len(wants) {
+		t.Fatalf("found %d sites, want %d", len(sites), len(wants))
+	}
+	for i, want := range wants {
+		if sites[i].Verdict != want {
+			t.Errorf("site %d at %#x: verdict %v, want %v", i, sites[i].PC, sites[i].Verdict, want)
+		}
+	}
+}
+
+func TestIndexScaleComposition(t *testing.T) {
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.MovImm(guest.ESI, 3) // odd index
+		// ebx + esi*4 + 4: residue 4*3+4 = 16 ≡ 0 mod 4 but unknown-free:
+		// fully known mod 8 → 0: aligned for a 4-byte access.
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.EBX, Index: guest.ESI, HasIndex: true, Scale: 4, Disp: 4})
+		// ebx + esi*2 + 0: 6 mod 8 → misaligned for 4-byte.
+		b.Load(guest.LD4, guest.ECX, guest.MemRef{Base: guest.EBX, Index: guest.ESI, HasIndex: true, Scale: 2})
+		b.Halt()
+	})
+	var got []Verdict
+	for _, s := range sortedSites(a) {
+		got = append(got, s.Verdict)
+	}
+	want := []Verdict{Aligned, Misaligned}
+	if len(got) != len(want) {
+		t.Fatalf("got %d sites, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("site %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func sortedSites(a *Analysis) []Site {
+	sites := append([]Site(nil), a.Sites()...)
+	for i := 1; i < len(sites); i++ {
+		for j := i; j > 0 && (sites[j].PC < sites[j-1].PC ||
+			(sites[j].PC == sites[j-1].PC && sites[j].Sub < sites[j-1].Sub)); j-- {
+			sites[j], sites[j-1] = sites[j-1], sites[j]
+		}
+	}
+	return sites
+}
+
+func TestCrossBlockPropagation(t *testing.T) {
+	// The base register is established in the entry block; the loop block
+	// only sees it through the CFG join. Aligned disp stays provable.
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBP, guest.DataBase)
+		b.MovImm(guest.ECX, 8)
+		b.Label("loop")
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.EBP, Disp: 16})
+		b.ALUImm(guest.ADDri, guest.EBP, 8) // preserves alignment mod 8
+		b.ALUImm(guest.SUBri, guest.ECX, 1)
+		b.CmpImm(guest.ECX, 0)
+		b.Jcc(guest.NE, "loop")
+		b.Halt()
+	})
+	sites := sortedSites(a)
+	if len(sites) != 1 {
+		t.Fatalf("got %d sites, want 1", len(sites))
+	}
+	if sites[0].Verdict != Aligned {
+		t.Errorf("loop site: %v, want aligned (cross-block EBP fact)", sites[0].Verdict)
+	}
+}
+
+func TestJoinDegradesConflictingResidues(t *testing.T) {
+	// Two paths leave EBX ≡ 0 and ≡ 2 (mod 8): a 4-byte access is not
+	// decidable, a 2-byte access is provably aligned (both ≡ 0 mod 2).
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.MovImm(guest.EAX, 1)
+		b.CmpImm(guest.EAX, 0)
+		b.Jcc(guest.E, "other")
+		b.ALUImm(guest.ADDri, guest.EBX, 2)
+		b.Label("other")
+		b.Load(guest.LD4, guest.ECX, guest.MemRef{Base: guest.EBX}) // 0 or 2 mod 8
+		b.Load(guest.LD2Z, guest.EDX, guest.MemRef{Base: guest.EBX})
+		b.Halt()
+	})
+	sites := sortedSites(a)
+	if len(sites) != 2 {
+		t.Fatalf("got %d sites, want 2", len(sites))
+	}
+	if sites[0].Verdict != Unknown {
+		t.Errorf("4-byte site after join: %v, want unknown", sites[0].Verdict)
+	}
+	if sites[1].Verdict != Aligned {
+		t.Errorf("2-byte site after join: %v, want aligned", sites[1].Verdict)
+	}
+}
+
+func TestStackTracking(t *testing.T) {
+	// PUSH/POP and CALL/RET keep ESP 4-aligned; stack sites classify
+	// aligned even across the all-RETs→all-return-sites approximation.
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EAX, 7)
+		b.Push(guest.EAX)
+		b.Call("fn")
+		b.Pop(guest.EAX)
+		b.Halt()
+		b.Label("fn")
+		b.Push(guest.EBX)
+		b.Pop(guest.EBX)
+		b.Ret()
+	})
+	for _, s := range a.Sites() {
+		if s.Verdict != Aligned {
+			t.Errorf("stack site at %#x sub %d: %v, want aligned", s.PC, s.Sub, s.Verdict)
+		}
+	}
+	// push eax, call, pop eax, push ebx, pop ebx, ret.
+	if len(a.Sites()) != 6 {
+		t.Errorf("got %d stack sites, want 6", len(a.Sites()))
+	}
+}
+
+func TestRepMovsStreams(t *testing.T) {
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.ESI, guest.DataBase)     // aligned source
+		b.MovImm(guest.EDI, guest.DataBase+129) // misaligned destination
+		b.MovImm(guest.ECX, 16)
+		b.Emit(guest.Inst{Op: guest.REPMOVS4})
+		// After the copy ECX is exactly zero and ESI stays 4-aligned.
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.ECX, Disp: guest.DataBase})
+		b.Halt()
+	})
+	sites := sortedSites(a)
+	if len(sites) != 3 {
+		t.Fatalf("got %d sites, want 3", len(sites))
+	}
+	if sites[0].Verdict != Aligned || sites[0].Sub != 0 {
+		t.Errorf("rep load stream: %+v, want aligned sub 0", sites[0])
+	}
+	if sites[1].Verdict != Misaligned || sites[1].Sub != 1 {
+		t.Errorf("rep store stream: %+v, want misaligned sub 1", sites[1])
+	}
+	if sites[2].Verdict != Aligned {
+		t.Errorf("post-copy ECX-based load: %v, want aligned (ECX pinned to 0)", sites[2].Verdict)
+	}
+}
+
+func TestLoadClobbersFacts(t *testing.T) {
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.Load(guest.LD4, guest.EBX, guest.MemRef{Base: guest.EBX}) // ebx now unknown
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.EBX})
+		b.Halt()
+	})
+	sites := sortedSites(a)
+	if len(sites) != 2 {
+		t.Fatalf("got %d sites, want 2", len(sites))
+	}
+	if sites[0].Verdict != Aligned {
+		t.Errorf("first load: %v, want aligned", sites[0].Verdict)
+	}
+	if sites[1].Verdict != Unknown {
+		t.Errorf("load through loaded pointer: %v, want unknown", sites[1].Verdict)
+	}
+}
+
+func TestShiftAndMaskIdioms(t *testing.T) {
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.MovImm(guest.ESI, 0) // becomes unknown below
+		b.Load(guest.LD4, guest.ESI, guest.MemRef{Base: guest.EBX})
+		// esi is unknown, but esi<<3 is 0 mod 8.
+		b.ALUImm(guest.SHLri, guest.ESI, 3)
+		b.ALU(guest.ADDrr, guest.ESI, guest.EBX)
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.ESI})
+		b.Halt()
+	})
+	sites := sortedSites(a)
+	if len(sites) != 2 {
+		t.Fatalf("got %d sites, want 2", len(sites))
+	}
+	if sites[1].Verdict != Aligned {
+		t.Errorf("shifted-index site: %v, want aligned", sites[1].Verdict)
+	}
+
+	a = analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.Load(guest.LD4, guest.ESI, guest.MemRef{Base: guest.EBX})
+		b.ALUImm(guest.ANDri, guest.ESI, ^int32(3)) // 4-align an unknown value
+		b.ALU(guest.ADDrr, guest.ESI, guest.EBX)
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.ESI})
+		b.Halt()
+	})
+	sites = sortedSites(a)
+	if sites[len(sites)-1].Verdict != Aligned {
+		t.Errorf("masked-pointer site: %v, want aligned", sites[len(sites)-1].Verdict)
+	}
+}
+
+func TestXorZeroIdiom(t *testing.T) {
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.Load(guest.LD4, guest.ESI, guest.MemRef{Base: guest.EBX})
+		b.ALU(guest.XORrr, guest.ESI, guest.ESI) // esi = 0 exactly
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.EBX, Index: guest.ESI, HasIndex: true, Scale: 1, Disp: 4})
+		b.Halt()
+	})
+	sites := sortedSites(a)
+	if sites[len(sites)-1].Verdict != Aligned {
+		t.Errorf("xor-zeroed index site: %v, want aligned", sites[len(sites)-1].Verdict)
+	}
+}
+
+func TestDecodeFailureStopsPathOnly(t *testing.T) {
+	b := guest.NewBuilder()
+	b.MovImm(guest.EBX, guest.DataBase)
+	b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.EBX})
+	b.Halt()
+	img, err := b.Build(guest.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail decoding past the first instruction: exploration stops on that
+	// path, but the analysis still returns.
+	firstLen, err := guest.EncodedLen(guest.Inst{Op: guest.MOVri, R1: guest.EBX, Imm: guest.DataBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := func(pc uint32) (guest.Inst, int, error) {
+		off := int(pc - guest.CodeBase)
+		if off >= firstLen {
+			return guest.Inst{}, 0, fmt.Errorf("no code at %#x", pc)
+		}
+		return guest.Decode(img[off:])
+	}
+	a := Analyze(dec, guest.CodeBase)
+	if a == nil {
+		t.Fatal("analysis failed entirely on a decode error")
+	}
+	if a.Insts() == 0 {
+		t.Error("analysis visited no instructions")
+	}
+}
+
+func TestInstVerdictFoldsStreams(t *testing.T) {
+	a := analyze(t, func(b *guest.Builder) {
+		b.MovImm(guest.ESI, guest.DataBase)
+		b.MovImm(guest.EDI, guest.DataBase+2)
+		b.MovImm(guest.ECX, 4)
+		b.Emit(guest.Inst{Op: guest.REPMOVS4})
+		b.Halt()
+	})
+	var repPC uint32
+	for _, s := range a.Sites() {
+		if s.Sub == 1 {
+			repPC = s.PC
+		}
+	}
+	if v := a.InstVerdict(repPC, guest.REPMOVS4); v != Unknown {
+		t.Errorf("mixed-stream instruction verdict %v, want unknown", v)
+	}
+	if v := a.Verdict(repPC, 0); v != Aligned {
+		t.Errorf("load stream %v, want aligned", v)
+	}
+	if v := a.Verdict(repPC, 1); v != Misaligned {
+		t.Errorf("store stream %v, want misaligned", v)
+	}
+}

@@ -1,0 +1,231 @@
+package align
+
+import "mdabt/internal/guest"
+
+// Decoder resolves one guest instruction: its decoded form and encoded
+// length. The engine supplies its PC-indexed decode cache; standalone
+// users wrap guest.Decode over a memory image.
+type Decoder func(pc uint32) (guest.Inst, int, error)
+
+// maxAnalyzedInsts bounds the fixpoint working set; past it the analysis
+// gives up (every verdict Unknown) rather than stall translation. The
+// bound is far above any workload in the suite.
+const maxAnalyzedInsts = 1 << 17
+
+// Site is one classified access stream of a memory instruction. Most
+// instructions have a single stream (Sub 0); REPMOVS4 has a load stream
+// (Sub 0, through ESI) and a store stream (Sub 1, through EDI).
+type Site struct {
+	PC      uint32
+	Sub     int
+	Size    int
+	IsStore bool
+	Verdict Verdict
+}
+
+// Analysis holds the converged whole-program alignment facts.
+type Analysis struct {
+	verdicts map[uint64]Verdict // key: pc<<1 | sub
+	entry    map[uint32]State   // converged state at each instruction
+	sites    []Site
+	insts    int
+	capped   bool // gave up at maxAnalyzedInsts
+}
+
+// Analyze runs the alignment analysis over all code statically reachable
+// from entry. The CFG is complete for this guest ISA up to one
+// approximation: RET targets are unknowable statically, so every RET's
+// out-state flows to every call-return site (the instruction after any
+// CALL). Code reached only through a non-conventional RET (a jump to a
+// manufactured address) is simply absent from the analysis and classifies
+// as Unknown, which the translator treats as "use the base mechanism".
+//
+// Decode failures stop exploration along that path only; they never fail
+// the analysis.
+func Analyze(dec Decoder, entry uint32) *Analysis {
+	a := &Analysis{
+		verdicts: make(map[uint64]Verdict),
+		entry:    make(map[uint32]State),
+	}
+	type decoded struct {
+		inst guest.Inst
+		len  int
+		ok   bool
+	}
+	code := make(map[uint32]decoded)
+	fetch := func(pc uint32) (decoded, bool) {
+		d, ok := code[pc]
+		if !ok {
+			if len(code) >= maxAnalyzedInsts {
+				a.capped = true
+				return decoded{}, false
+			}
+			in, n, err := dec(pc)
+			d = decoded{inst: in, len: n, ok: err == nil}
+			code[pc] = d
+		}
+		return d, d.ok
+	}
+
+	// retOut joins the out-state of every RET; retSites lists every
+	// call-return address. A change to either re-feeds the other side.
+	var retOut State
+	retSites := make(map[uint32]bool)
+
+	work := []uint32{entry}
+	queued := map[uint32]bool{entry: true}
+	push := func(pc uint32) {
+		if !queued[pc] {
+			queued[pc] = true
+			work = append(work, pc)
+		}
+	}
+	// flow joins st into pc's entry state, queueing pc on change.
+	flow := func(pc uint32, st State) {
+		cur := a.entry[pc]
+		if cur.joinInto(st) {
+			a.entry[pc] = cur
+			push(pc)
+		}
+	}
+	flow(entry, EntryState())
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[pc] = false
+		st := a.entry[pc]
+		if !st.valid {
+			continue
+		}
+		d, ok := fetch(pc)
+		if !ok {
+			continue
+		}
+		in, next := d.inst, pc+uint32(d.len)
+		switch in.Op {
+		case guest.HALT:
+			// No successors.
+		case guest.JMP:
+			flow(next+uint32(in.Rel), step(st, in))
+		case guest.JCC:
+			out := step(st, in)
+			flow(next, out)
+			flow(next+uint32(in.Rel), out)
+		case guest.CALL:
+			flow(next+uint32(in.Rel), step(st, in))
+			if !retSites[next] {
+				retSites[next] = true
+				flow(next, retOut)
+			}
+		case guest.RET:
+			out := step(st, in)
+			if retOut.joinInto(out) {
+				for site := range retSites {
+					flow(site, retOut)
+				}
+			}
+		case guest.REPMOVS4:
+			// Self-loop: one iteration feeds back into the instruction.
+			// Fallthrough: taken when ECX reaches zero; ESI/EDI carry the
+			// joined-over-iterations entry facts and ECX is exactly zero.
+			flow(pc, step(st, in))
+			out := st
+			out.regs[guest.ECX] = factOf(0)
+			flow(next, out)
+		default:
+			flow(next, step(st, in))
+		}
+	}
+
+	a.insts = len(code)
+	if a.capped {
+		// The working set overflowed: partial facts may be optimistic about
+		// unexplored predecessors, so publish nothing.
+		a.verdicts = make(map[uint64]Verdict)
+		a.sites = nil
+		return a
+	}
+
+	// Classification pass over the converged states.
+	for pc, d := range code {
+		if !d.ok {
+			continue
+		}
+		st := a.entry[pc]
+		if !st.valid {
+			continue
+		}
+		for _, s := range instSites(st, d.inst) {
+			s.PC = pc
+			a.verdicts[siteKey(pc, s.Sub)] = s.Verdict
+			a.sites = append(a.sites, s)
+		}
+	}
+	return a
+}
+
+func siteKey(pc uint32, sub int) uint64 {
+	return uint64(pc)<<1 | uint64(sub)
+}
+
+// instSites classifies every non-byte access stream of one instruction
+// under the entry state st.
+func instSites(st State, in guest.Inst) []Site {
+	switch in.Op {
+	case guest.LD4, guest.LD2Z, guest.LD2S, guest.ST4, guest.ST2, guest.FLD8, guest.FST8:
+		size := in.Op.MemSize()
+		ea := st.evalMem(in.Mem)
+		return []Site{{Sub: 0, Size: size, IsStore: in.Op.IsStore(), Verdict: classify(ea, size)}}
+	case guest.PUSH, guest.CALL:
+		ea := st.Reg(guest.ESP).addConst(-4)
+		return []Site{{Sub: 0, Size: 4, IsStore: true, Verdict: classify(ea, 4)}}
+	case guest.POP, guest.RET:
+		ea := st.Reg(guest.ESP)
+		return []Site{{Sub: 0, Size: 4, Verdict: classify(ea, 4)}}
+	case guest.REPMOVS4:
+		// The entry state is the join over every iteration (self-loop), so
+		// one classification covers the whole copy.
+		return []Site{
+			{Sub: 0, Size: 4, Verdict: classify(st.Reg(guest.ESI), 4)},
+			{Sub: 1, Size: 4, IsStore: true, Verdict: classify(st.Reg(guest.EDI), 4)},
+		}
+	}
+	return nil
+}
+
+// Verdict returns the classification of one access stream, Unknown for
+// instructions outside the analysis.
+func (a *Analysis) Verdict(pc uint32, sub int) Verdict {
+	if a == nil {
+		return Unknown
+	}
+	return a.verdicts[siteKey(pc, sub)]
+}
+
+// InstVerdict folds an instruction's streams into one verdict: decisive
+// only when every stream agrees. Policy-level decisions (which emission
+// shape a site gets) use this; per-stream refinement uses Verdict.
+func (a *Analysis) InstVerdict(pc uint32, op guest.Op) Verdict {
+	v := a.Verdict(pc, 0)
+	if op == guest.REPMOVS4 && a.Verdict(pc, 1) != v {
+		return Unknown
+	}
+	return v
+}
+
+// Insts reports how many instructions the analysis visited (translation
+// cost accounting).
+func (a *Analysis) Insts() int { return a.insts }
+
+// Capped reports whether the analysis hit its working-set bound and
+// published no verdicts.
+func (a *Analysis) Capped() bool { return a.capped }
+
+// Sites returns every classified access stream, in unspecified order.
+// Callers must not mutate the slice.
+func (a *Analysis) Sites() []Site { return a.sites }
+
+// StateAt returns the converged abstract register state at an instruction
+// (valid=false for unanalyzed addresses). Exposed for tests and tooling.
+func (a *Analysis) StateAt(pc uint32) State { return a.entry[pc] }

@@ -1,0 +1,129 @@
+package align
+
+import (
+	"fmt"
+
+	"mdabt/internal/host"
+)
+
+// This file is the static translation verifier: a structural linter over
+// one emitted host block. It re-decodes the block's words and checks that
+// the code is accounted for under the translator's own metadata:
+//
+//   - every word decodes;
+//   - every alignment-trapping memory instruction (host.Op.Aligns) is
+//     either a registered trap site (the misalignment handler can resolve
+//     it), proven aligned (an Aligned verdict, or BT-internal data such as
+//     adaptive streak counters and IBTC entries at constructed-aligned
+//     addresses), or guarded (inside a multi-version/adaptive arm whose
+//     alignment check makes the plain instruction unreachable when
+//     misaligned) — MDA sequences themselves use only LDQ_U/STQ_U/LDA,
+//     which never trap, so they need no entry;
+//   - branch targets resolve: in-block targets land inside the block, and
+//     out-of-block branches (chained exits, handler patches) pass the
+//     caller's CheckBranch policy;
+//   - patch sites are well-formed: a host PC the exception handler claims
+//     to have patched must now hold an unconditional BR, and a registered
+//     trap site that is not patched must still hold a trapping memory
+//     instruction;
+//   - BRKBT payloads pass the caller's CheckBrk policy (exit table /
+//     service payload consistency).
+//
+// The verifier never trusts the emitted bytes over the metadata or vice
+// versa — a disagreement in either direction is a finding.
+
+// HostBlock describes one translated block to the verifier. The maps may
+// be nil (treated as empty).
+type HostBlock struct {
+	Entry uint64   // host address of Words[0]
+	Words []uint32 // the block's code as currently in memory
+
+	TrapSites map[uint64]bool // host PCs registered with the trap handler
+	Proven    map[uint64]bool // host PCs emitted under a proven-aligned claim
+	Guarded   map[uint64]bool // host PCs inside alignment-guarded arms
+	Patched   map[uint64]bool // trap-site PCs the handler patched into BRs
+
+	// CheckBranch validates a branch at pc whose target lies outside the
+	// block. nil forbids all out-of-block branches.
+	CheckBranch func(pc, target uint64) error
+	// CheckBrk validates a BRKBT payload. nil accepts any payload.
+	CheckBrk func(pc uint64, payload uint32) error
+}
+
+// Finding is one verifier complaint.
+type Finding struct {
+	HostPC uint64
+	Msg    string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%#x: %s", f.HostPC, f.Msg)
+}
+
+// Verify lints one emitted host block, returning every finding.
+func Verify(b HostBlock) []Finding {
+	var findings []Finding
+	bad := func(pc uint64, format string, args ...any) {
+		findings = append(findings, Finding{HostPC: pc, Msg: fmt.Sprintf(format, args...)})
+	}
+	end := b.Entry + uint64(len(b.Words))*host.InstBytes
+	seenTrapSite := make(map[uint64]bool)
+
+	for i, w := range b.Words {
+		pc := b.Entry + uint64(i)*host.InstBytes
+		in, err := host.Decode(w)
+		if err != nil {
+			bad(pc, "undecodable word %#08x: %v", w, err)
+			continue
+		}
+		if b.TrapSites[pc] {
+			seenTrapSite[pc] = true
+			if b.Patched[pc] {
+				if in.Op != host.BR || in.Ra != host.Zero {
+					bad(pc, "patched trap site does not hold an unconditional BR (got %s)", host.DisasmWord(pc, w))
+				}
+			} else if !in.Op.Aligns() {
+				bad(pc, "registered trap site no longer holds a trapping memory op (got %s)", host.DisasmWord(pc, w))
+			}
+		} else if b.Patched[pc] {
+			bad(pc, "patched PC is not a registered trap site")
+		}
+
+		switch host.FormatOf(in.Op) {
+		case host.FormatMem:
+			if in.Op == host.LDA || in.Op == host.LDAH {
+				break // address arithmetic, not an access
+			}
+			if !in.Op.Aligns() {
+				break // byte accesses and LDQ_U/STQ_U never trap
+			}
+			if !(b.TrapSites[pc] || b.Proven[pc] || b.Guarded[pc]) {
+				bad(pc, "trap-prone %v is neither a registered trap site, proven aligned, nor guarded", in.Op)
+			}
+		case host.FormatPAL:
+			if b.CheckBrk != nil {
+				if err := b.CheckBrk(pc, in.Payload); err != nil {
+					bad(pc, "BRKBT payload %d: %v", in.Payload, err)
+				}
+			}
+		case host.FormatBra:
+			target := in.BranchTarget(pc)
+			if target >= b.Entry && target < end {
+				break // in-block label: instruction-aligned by encoding
+			}
+			if b.CheckBranch == nil {
+				bad(pc, "branch leaves the block (target %#x) with no link/patch record", target)
+			} else if err := b.CheckBranch(pc, target); err != nil {
+				bad(pc, "out-of-block branch to %#x: %v", target, err)
+			}
+		}
+	}
+
+	// Every registered trap site must actually lie inside the block.
+	for pc := range b.TrapSites {
+		if !seenTrapSite[pc] {
+			bad(pc, "registered trap site lies outside the block [%#x,%#x)", b.Entry, end)
+		}
+	}
+	return findings
+}

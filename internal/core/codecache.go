@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mdabt/internal/align"
 	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 )
@@ -151,6 +152,21 @@ type block struct {
 	// mixed marks inst indices classified as sometimes-aligned (multi-
 	// version sites, §IV-D).
 	mixed map[int]bool
+	// sitePol and averdict record the translation-time policy and static
+	// alignment verdict per memory-inst index (dump annotations; averdict
+	// is populated only under Options.StaticAlign).
+	sitePol  map[int]sitePolicy
+	averdict map[int]align.Verdict
+	// alignedPCs marks host memory ops emitted under a proven-aligned
+	// claim: static Aligned verdicts plus BT-internal data at constructed-
+	// aligned addresses (adaptive streak counters, IBTC entries). The
+	// verifier accepts them without a trap-site registration; a trap at one
+	// of these PCs is a soundness violation (Stats.StaticAlignViolations).
+	alignedPCs map[uint64]bool
+	// guardedPCs marks plain memory ops inside alignment-guarded arms
+	// (multi-version and adaptive aligned paths): unreachable when the
+	// address misaligns, so they carry no trap-site registration either.
+	guardedPCs map[uint64]bool
 	// incoming lists exits of other blocks linked directly to this block,
 	// so invalidation can unlink them.
 	incoming []*exit

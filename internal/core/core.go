@@ -131,6 +131,20 @@ type Options struct {
 	// guest instruction addresses to translate into MDA sequences.
 	StaticSites map[uint32]bool
 
+	// StaticAlign layers the static alignment analysis (internal/align)
+	// over the base mechanism: at Run entry the whole guest program is
+	// analyzed with a per-register alignment lattice, and decisive verdicts
+	// override the mechanism's site policy — proven-aligned sites emit
+	// plain operations with no MDA sequence, trap hook, or adaptive
+	// bookkeeping; proven-misaligned sites inline the MDA sequence eagerly
+	// (zero first-trap cost). Unknown sites keep the base mechanism.
+	// Verdicts are advisory for performance only: a wrong aligned verdict
+	// degrades to the OS-style trap fixup, never to a wrong result.
+	StaticAlign bool
+	// AnalyzeCyclesPerInst is the modeled cost of the alignment analysis,
+	// charged once per analyzed guest instruction at Run entry.
+	AnalyzeCyclesPerInst uint64
+
 	// BT software costs, in host cycles (DESIGN.md §5).
 	InterpCyclesPerInst    uint64
 	TranslateCyclesPerInst uint64
@@ -181,6 +195,7 @@ func DefaultOptions(m Mechanism) Options {
 		EHHandlerCycles:        1500,
 		RearrangeFixedCycles:   800,
 		RearrangePerInstCycles: 120,
+		AnalyzeCyclesPerInst:   40,
 		CodeCacheBytes:         4 << 20,
 		PatchRetryLimit:        8,
 	}
@@ -226,6 +241,9 @@ func (o *Options) normalize() {
 	}
 	if o.RearrangePerInstCycles == 0 {
 		o.RearrangePerInstCycles = d.RearrangePerInstCycles
+	}
+	if o.AnalyzeCyclesPerInst == 0 {
+		o.AnalyzeCyclesPerInst = d.AnalyzeCyclesPerInst
 	}
 	if o.CodeCacheBytes == 0 {
 		o.CodeCacheBytes = d.CodeCacheBytes
@@ -313,6 +331,13 @@ type Stats struct {
 	IBTCFills        uint64 // indirect-branch cache entries installed
 	Superblocks      uint64 // multi-block traces formed
 	TraceBlocks      uint64 // basic blocks folded into traces
+
+	// Static alignment analysis (Options.StaticAlign).
+	StaticAnalyzedInsts   uint64 // guest instructions the analysis visited
+	StaticAlignedSites    uint64 // translated sites proven aligned (plain, no trap hook)
+	StaticMisalignedSites uint64 // translated sites proven misaligned (eager MDA)
+	StaticUnknownSites    uint64 // translated sites left to the base mechanism
+	StaticAlignViolations uint64 // traps at host PCs claimed proven-aligned (soundness bug)
 
 	// Degradation-ladder counters (failure modes that previously degraded
 	// silently; see DESIGN.md §7).

@@ -56,6 +56,22 @@ func allConfigs(staticSites map[uint32]bool) []Options {
 	dpehIbtc.Retranslate = true
 	dpehIbtc.IBTC = true
 	add(dpehIbtc)
+	// The +staticalign layer must be state-transparent over any base
+	// mechanism, including the mixed/adaptive emitters it intercepts.
+	dSA := DefaultOptions(Direct)
+	dSA.StaticAlign = true
+	add(dSA)
+	ehSA := DefaultOptions(ExceptionHandling)
+	ehSA.StaticAlign = true
+	add(ehSA)
+	dpehSA := dpeh
+	dpehSA.Retranslate = true
+	dpehSA.MultiVersion = true
+	dpehSA.StaticAlign = true
+	add(dpehSA)
+	dpehAdSA := dpehAd
+	dpehAdSA.StaticAlign = true
+	add(dpehAdSA)
 	return configs
 }
 
@@ -146,9 +162,18 @@ func cosim(t *testing.T, name string, img []byte, dataInit []byte) {
 	static := censusSites(t, img, dataInit)
 	for _, opt := range allConfigs(static) {
 		opt := opt
-		label := fmt.Sprintf("%s/%v(re=%v,rt=%v,mv=%v)", name, opt.Mechanism, opt.Rearrange, opt.Retranslate, opt.MultiVersion)
-		gotCPU, gotArena, _ := runDBT(t, img, dataInit, opt)
+		label := fmt.Sprintf("%s/%v(re=%v,rt=%v,mv=%v,sa=%v)", name, opt.Mechanism, opt.Rearrange, opt.Retranslate, opt.MultiVersion, opt.StaticAlign)
+		gotCPU, gotArena, e := runDBT(t, img, dataInit, opt)
 		compareState(t, label, refCPU, gotCPU, refArena, gotArena)
+		// Every cosim run doubles as a verifier pass over the emitted code.
+		if findings := e.Lint(); len(findings) > 0 {
+			t.Errorf("%s: translation lint: %v (%d findings)", label, findings[0], len(findings))
+		}
+		if opt.StaticAlign {
+			if v := e.Stats().StaticAlignViolations; v != 0 {
+				t.Errorf("%s: %d static-align violations", label, v)
+			}
+		}
 	}
 }
 

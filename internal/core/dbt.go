@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mdabt/internal/align"
 	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/host"
@@ -75,6 +76,11 @@ type Engine struct {
 	// adaptives indexes adaptive-site BRKBT payloads.
 	adaptives   []adaptiveRef
 	counterNext uint64
+	// alignDB holds the whole-program static alignment analysis
+	// (Options.StaticAlign), built at Run entry and consulted by
+	// sitePolicies/memAccessSub for verdict overrides.
+	alignDB    *align.Analysis
+	alignEntry uint32
 	// ibtc mirrors the in-memory indirect-branch cache so invalidation can
 	// evict entries pointing into discarded translations.
 	ibtc [ibtcEntries]struct {
@@ -412,6 +418,9 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 	e.CPU.Reset(entry)
 	e.hostCurrent = false
 	e.halted = false
+	if e.Opt.StaticAlign && (e.alignDB == nil || e.alignEntry != entry) {
+		e.buildAlignDB(entry)
+	}
 	target := entry
 	resume := false // re-enter the machine at its current PC (adaptive revert)
 	for !e.halted {
@@ -580,6 +589,11 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 		// it instead of rediscovering it one trap at a time.
 		if known && e.Opt.usesExceptionPatching() && ref.b.invalid {
 			e.retained(ref.b.guestPC)[ref.site.instIdx] = true
+		}
+		if !known && e.Opt.StaticAlign {
+			// Proven-aligned emissions carry no site registration, so a trap
+			// at one of their PCs lands here — flag the soundness violation.
+			e.noteAlignViolation(pc)
 		}
 		m.EmulateAccess(inst, ea)
 		return pc + host.InstBytes

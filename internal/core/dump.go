@@ -27,7 +27,14 @@ func (e *Engine) DumpBlock(pc uint32) (string, error) {
 		unit, b.guestPC, len(b.insts), b.hostSize, b.hostEntry)
 	for i, in := range b.insts {
 		gpc := b.instPCs[i]
-		fmt.Fprintf(&sb, "  %#08x  %s\n", gpc, guest.Disasm(gpc, in, b.instLens[i]))
+		fmt.Fprintf(&sb, "  %#08x  %s", gpc, guest.Disasm(gpc, in, b.instLens[i]))
+		if pol, ok := b.sitePol[i]; ok {
+			fmt.Fprintf(&sb, "  ; site: policy=%s", pol)
+			if v, ok := b.averdict[i]; ok {
+				fmt.Fprintf(&sb, " align=%s", v)
+			}
+		}
+		sb.WriteByte('\n')
 	}
 	sb.WriteString("host code:\n")
 	for hpc := b.hostEntry; hpc < b.hostEntry+b.hostSize; hpc += host.InstBytes {
@@ -35,6 +42,10 @@ func (e *Engine) DumpBlock(pc uint32) (string, error) {
 		marker := " "
 		if ref, ok := e.sites[hpc]; ok && ref.site.patched[hpc] {
 			marker = "*" // patched by the exception handler
+		} else if b.alignedPCs[hpc] {
+			marker = "a" // proven aligned (static verdict or BT-internal data)
+		} else if b.guardedPCs[hpc] {
+			marker = "g" // plain op inside an alignment-guarded arm
 		}
 		fmt.Fprintf(&sb, " %s%#010x  %s\n", marker, hpc, host.DisasmWord(hpc, w))
 	}
@@ -53,6 +64,11 @@ func (e *Engine) DumpStats() string {
 		s.AdaptiveSites, s.AdaptiveReverts)
 	fmt.Fprintf(&sb, "patches=%d stubs=%d links=%d flushes=%d interp-insts=%d\n",
 		s.Patches, s.MDAStubs, s.Links, s.Flushes, s.InterpretedInsts)
+	if e.Opt.StaticAlign {
+		fmt.Fprintf(&sb, "static-align: analyzed=%d sites aligned=%d misaligned=%d unknown=%d violations=%d\n",
+			s.StaticAnalyzedInsts, s.StaticAlignedSites, s.StaticMisalignedSites,
+			s.StaticUnknownSites, s.StaticAlignViolations)
+	}
 	full := e.Stats() // includes the fault-plan total
 	fmt.Fprintf(&sb, "degraded: stub-full=%d unpatchable=%d interp-fallbacks=%d demotions=%d injected-faults=%d\n",
 		full.StubZoneFull, full.UnpatchableSites, full.InterpFallbacks,

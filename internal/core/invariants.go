@@ -150,6 +150,18 @@ func (e *Engine) CheckInvariants() error {
 			return fmt.Errorf("core: invariant: blacklisted guest %#x has a live translation", pc)
 		}
 	}
+
+	// Static translation verifier (after the structural checks, so targeted
+	// corruption diagnoses above take precedence): every live block's
+	// emitted words and metadata must account for each other — every
+	// trap-prone memory op registered, proven aligned, or guarded; branch
+	// targets and BRKBT payloads resolved; patch sites well-formed.
+	for pc, b := range e.blocks {
+		if fs := e.verifyBlock(b); len(fs) > 0 {
+			return fmt.Errorf("core: invariant: block %#x fails translation lint (%d findings): %s",
+				pc, len(fs), fs[0])
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"mdabt/internal/align"
+	"mdabt/internal/guest"
+	"mdabt/internal/host"
+)
+
+// This file wires the static alignment analysis and the translation
+// verifier (internal/align) into the engine. The analysis side runs once
+// per program at Run entry and feeds verdicts into sitePolicies and
+// memAccessSub; the verifier side lints every live translation from
+// CheckInvariants, Engine.Lint, and `dbtrun -lint`.
+
+// buildAlignDB runs the whole-program alignment analysis from entry,
+// through the engine's decode cache, and charges its modeled cost.
+func (e *Engine) buildAlignDB(entry uint32) {
+	dec := func(pc uint32) (guest.Inst, int, error) {
+		de, err := e.dec.decoded(pc, e.Mem)
+		if err != nil {
+			return guest.Inst{}, 0, err
+		}
+		return de.inst, de.len, nil
+	}
+	e.alignDB = align.Analyze(dec, entry)
+	e.alignEntry = entry
+	e.stats.StaticAnalyzedInsts = uint64(e.alignDB.Insts())
+	e.Mach.AddCycles(e.Opt.AnalyzeCyclesPerInst * uint64(e.alignDB.Insts()))
+}
+
+// noteAlignViolation records a misalignment trap arriving at a host PC the
+// translator emitted under a proven-aligned claim — a lattice soundness
+// bug. Execution still recovers through the software fixup; the counter
+// makes the bug visible to the soundness cosim test.
+func (e *Engine) noteAlignViolation(pc uint64) {
+	for _, b := range e.blocks {
+		if pc >= b.hostEntry && pc < b.hostEntry+b.hostSize {
+			if b.alignedPCs[pc] {
+				e.stats.StaticAlignViolations++
+				e.event(EvDegrade, b.guestPC, pc, "static-align violation: proven-aligned site trapped")
+			}
+			return
+		}
+	}
+}
+
+// checkBrkPayload validates a BRKBT service payload against the engine's
+// exit and adaptive tables (the verifier's CheckBrk policy).
+func (e *Engine) checkBrkPayload(pc uint64, payload uint32) error {
+	switch {
+	case payload == svcHalt, payload == svcIndirect:
+		return nil
+	case payload&svcAdaptiveFlag != 0:
+		if id := payload &^ svcAdaptiveFlag; int(id) >= len(e.adaptives) {
+			return fmt.Errorf("adaptive id %d out of range (%d registered)", id, len(e.adaptives))
+		}
+		return nil
+	case payload >= svcExitBase:
+		idx := payload - svcExitBase
+		if int(idx) >= len(e.exits) {
+			return fmt.Errorf("exit id %d out of range (%d registered)", idx, len(e.exits))
+		}
+		if ex := e.exits[idx]; ex.hostPC != pc {
+			return fmt.Errorf("exit %d is registered at %#x", idx, ex.hostPC)
+		}
+		return nil
+	}
+	return fmt.Errorf("unassigned service payload")
+}
+
+// verifyBlock lints one live translation: it reads the block's words back
+// out of simulated memory and hands them to align.Verify together with the
+// engine-side metadata (trap sites, alignment claims, patches) and the
+// link policies for out-of-block branches and BRKBT payloads.
+func (e *Engine) verifyBlock(b *block) []align.Finding {
+	words := make([]uint32, b.hostSize/host.InstBytes)
+	for i := range words {
+		words[i] = e.Mem.Read32(b.hostEntry + uint64(i)*host.InstBytes)
+	}
+	trap := make(map[uint64]bool)
+	patched := make(map[uint64]bool)
+	for _, s := range b.sites {
+		for _, hpc := range s.hostPCs {
+			trap[hpc] = true
+		}
+		for hpc := range s.patched {
+			patched[hpc] = true
+		}
+	}
+	exits := make(map[uint64]*exit, len(b.exits))
+	for _, ex := range b.exits {
+		exits[ex.hostPC] = ex
+	}
+	return align.Verify(align.HostBlock{
+		Entry:     b.hostEntry,
+		Words:     words,
+		TrapSites: trap,
+		Proven:    b.alignedPCs,
+		Guarded:   b.guardedPCs,
+		Patched:   patched,
+		CheckBranch: func(pc, target uint64) error {
+			if ex, ok := exits[pc]; ok {
+				// A chained exit must branch to its target's current entry.
+				if !ex.linked {
+					return fmt.Errorf("exit %d is unlinked but holds an out-of-block branch", ex.id)
+				}
+				tb := e.blocks[ex.targetGuest]
+				if tb == nil {
+					return fmt.Errorf("exit %d is linked to untranslated guest %#x", ex.id, ex.targetGuest)
+				}
+				if target != tb.hostEntry {
+					return fmt.Errorf("exit %d branches to %#x, want block entry %#x", ex.id, target, tb.hostEntry)
+				}
+				return nil
+			}
+			if patched[pc] {
+				// A patched trap site must branch into the MDA stub zone.
+				lo, hi := e.cc.stubNext, e.cc.base+e.cc.size
+				if target < lo || target >= hi {
+					return fmt.Errorf("patched site branches to %#x, outside the stub zone [%#x,%#x)", target, lo, hi)
+				}
+				return nil
+			}
+			return fmt.Errorf("no exit or patch record for this branch")
+		},
+		CheckBrk: e.checkBrkPayload,
+	})
+}
+
+// Lint runs the static translation verifier over every live translation,
+// returning one line per finding (`dbtrun -lint`; the experiment sessions
+// call it after every run).
+func (e *Engine) Lint() []string {
+	var out []string
+	for _, pc := range e.TranslatedPCs() {
+		for _, f := range e.verifyBlock(e.blocks[pc]) {
+			out = append(out, fmt.Sprintf("block %#x: %s", pc, f))
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/machine"
+	"mdabt/internal/mem"
+)
+
+// staticAlignProgram builds a block with one provably-aligned, one
+// provably-misaligned, and one unprovable 4-byte access (base pointer
+// loaded from memory).
+func staticAlignProgram(t *testing.T) []byte {
+	return buildImg(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.MovImm(guest.EDI, 0)
+		b.Label("loop")
+		b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.EBX, Disp: 8}) // aligned
+		b.Load(guest.LD4, guest.ECX, guest.MemRef{Base: guest.EBX, Disp: 2}) // misaligned
+		b.Load(guest.LD4, guest.ESI, guest.MemRef{Base: guest.EBX})          // pointer from memory: unknown target
+		b.Load(guest.LD4, guest.EDX, guest.MemRef{Base: guest.ESI})
+		b.ALU(guest.ADDrr, guest.EAX, guest.ECX)
+		b.ALU(guest.ADDrr, guest.EAX, guest.EDX)
+		b.ALUImm(guest.ADDri, guest.EDI, 1)
+		b.CmpImm(guest.EDI, 50)
+		b.Jcc(guest.L, "loop")
+		b.Halt()
+	})
+}
+
+func TestStaticAlignClassifiesAndEmits(t *testing.T) {
+	img := staticAlignProgram(t)
+	data := patternData(64)
+	// Plant an aligned pointer at data[0] so the unknown-base load works.
+	for i, by := range []byte{0x10, 0, 0, byte(guest.DataBase >> 24)} {
+		data[i] = by
+	}
+	for _, mech := range []Mechanism{Direct, ExceptionHandling, DPEH} {
+		opt := DefaultOptions(mech)
+		opt.StaticAlign = true
+		opt.HeatThreshold = 1 // translate even the one-shot block under DPEH
+		_, _, e := runDBT(t, img, data, opt)
+		st := e.Stats()
+		if st.StaticAnalyzedInsts == 0 {
+			t.Errorf("%v: analysis ran over zero instructions", mech)
+		}
+		if st.StaticAlignedSites == 0 {
+			t.Errorf("%v: no site proven aligned", mech)
+		}
+		if st.StaticMisalignedSites == 0 {
+			t.Errorf("%v: no site proven misaligned", mech)
+		}
+		if st.StaticUnknownSites == 0 {
+			t.Errorf("%v: no site left unknown (pointer-chased load should be)", mech)
+		}
+		if st.StaticAlignViolations != 0 {
+			t.Errorf("%v: %d violations on a sound program", mech, st.StaticAlignViolations)
+		}
+		if findings := e.Lint(); len(findings) > 0 {
+			t.Errorf("%v: lint: %v", mech, findings[0])
+		}
+		// The proven-aligned site must not be a registered trap site, so
+		// Direct+staticalign does fewer MDA sequences than plain Direct at
+		// the same architectural result (checked by cosim elsewhere).
+		var dump strings.Builder
+		for _, pc := range e.TranslatedPCs() {
+			d, err := e.DumpBlock(pc)
+			if err != nil {
+				t.Fatalf("%v: %v", mech, err)
+			}
+			dump.WriteString(d)
+		}
+		for _, frag := range []string{"align=aligned", "align=misaligned", "align=unknown"} {
+			if !strings.Contains(dump.String(), frag) {
+				t.Errorf("%v: block dumps lack %q:\n%s", mech, frag, dump.String())
+			}
+		}
+	}
+}
+
+// TestStaticAlignDropsMDASequences pins the point of the layer: under
+// Direct, a proven-aligned site stops paying the MDA sequence, so the hot
+// loop gets cheaper while the architectural result stays identical.
+func TestStaticAlignDropsMDASequences(t *testing.T) {
+	img := buildImg(t, func(b *guest.Builder) {
+		b.MovImm(guest.EBX, guest.DataBase)
+		b.MovImm(guest.ECX, 0)
+		b.MovImm(guest.EAX, 0)
+		b.Label("loop")
+		b.Load(guest.LD4, guest.EDX, guest.MemRef{Base: guest.EBX, Disp: 8}) // provably aligned
+		b.ALU(guest.ADDrr, guest.EAX, guest.EDX)
+		b.Store(guest.ST4, guest.MemRef{Base: guest.EBX, Disp: 16}, guest.EAX) // provably aligned
+		b.ALUImm(guest.ADDri, guest.ECX, 1)
+		b.CmpImm(guest.ECX, 500)
+		b.Jcc(guest.L, "loop")
+		b.Halt()
+	})
+	data := patternData(64)
+	run := func(sa bool) (guest.CPU, []byte, uint64) {
+		opt := DefaultOptions(Direct)
+		opt.StaticAlign = sa
+		m := mem.New()
+		m.WriteBytes(guest.CodeBase, img)
+		m.WriteBytes(guest.DataBase, data)
+		mach := machine.New(m, machine.DefaultParams())
+		e := NewEngine(m, mach, opt)
+		if err := e.Run(guest.CodeBase, 500_000_000); err != nil {
+			t.Fatal(err)
+		}
+		arena := make([]byte, len(data))
+		m.ReadBytes(guest.DataBase, arena)
+		return e.FinalCPU(), arena, mach.Counters().Cycles
+	}
+	baseCPU, baseArena, baseCycles := run(false)
+	saCPU, saArena, saCycles := run(true)
+	compareState(t, "direct+staticalign", baseCPU, saCPU, baseArena, saArena)
+	if saCycles >= baseCycles {
+		t.Errorf("staticalign did not pay off on an aligned loop: %d cycles vs %d", saCycles, baseCycles)
+	}
+}

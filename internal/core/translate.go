@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mdabt/internal/align"
 	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/host"
@@ -21,6 +22,21 @@ const (
 	polMixed                      // per-site multi-version code (§IV-D, Fig. 8 left)
 	polAdaptive                   // streak-counting adaptive code (§IV-D, Fig. 8 right)
 )
+
+// String names the policy for dumps and verifier findings.
+func (p sitePolicy) String() string {
+	switch p {
+	case polPlain:
+		return "plain"
+	case polSeq:
+		return "seq"
+	case polMixed:
+		return "mixed"
+	case polAdaptive:
+		return "adaptive"
+	}
+	return "policy?"
+}
 
 // decodeBlock decodes the basic block starting at pc from guest memory,
 // through the engine's PC-indexed decode cache (translations and the
@@ -171,6 +187,23 @@ func (em *emitter) siteFor(idx, sub int, pc uint32, k memKind) *memSite {
 	return s
 }
 
+// markAligned records, on the recording pass, that the host memory op at
+// pc was emitted under a proven-aligned claim (static verdict or
+// BT-internal data at a constructed-aligned address).
+func (em *emitter) markAligned(pc uint64) {
+	if em.record {
+		em.b.alignedPCs[pc] = true
+	}
+}
+
+// markGuarded records, on the recording pass, a plain memory op inside an
+// alignment-guarded arm (unreachable when the address misaligns).
+func (em *emitter) markGuarded(pc uint64) {
+	if em.record {
+		em.b.guardedPCs[pc] = true
+	}
+}
+
 // addressing resolves a guest memory operand to (hostBase, disp) with
 // disp+size-1 guaranteed to fit the 16-bit memory displacement, emitting
 // effective-address computation into tmpEA when needed.
@@ -216,6 +249,24 @@ func (em *emitter) memAccess(idx int, pc uint32, k memKind, data host.Reg, m gue
 
 func (em *emitter) memAccessSub(idx, sub int, pc uint32, k memKind, data host.Reg, m guest.MemRef) {
 	base, disp := em.addressing(m, k.size())
+	// Static alignment layer, per access stream: a proven-aligned stream
+	// emits the plain operation with no trap-site registration (the
+	// verifier accounts for it through block.alignedPCs); a proven-
+	// misaligned stream inlines the MDA sequence eagerly. Stream-level
+	// interception refines the instruction-level policy override in
+	// sitePolicies for string copies whose two streams classified
+	// differently. Verdicts are fixed at translation time, so both
+	// emission passes agree (length invariance).
+	if em.e.Opt.StaticAlign {
+		switch em.e.alignDB.Verdict(pc, sub) {
+		case align.Aligned:
+			em.markAligned(emitPlain(em.a, k, data, base, disp))
+			return
+		case align.Misaligned:
+			emitMDA(em.a, k, data, base, disp)
+			return
+		}
+	}
 	site := em.siteFor(idx, sub, pc, k)
 	pol := em.policy[idx]
 	if pol == polMixed && em.mvActive {
@@ -242,7 +293,7 @@ func (em *emitter) memAccessSub(idx, sub int, pc uint32, k memKind, data host.Re
 		a.Mem(host.LDA, tmpCond, disp, base)
 		a.OprLit(host.AND, tmpCond, uint8(k.size()-1), tmpCond)
 		a.Br(host.BNE, tmpCond, seq)
-		emitPlain(a, k, data, base, disp)
+		em.markGuarded(emitPlain(a, k, data, base, disp))
 		a.Br(host.BR, host.Zero, join)
 		a.Label(seq)
 		emitMDA(a, k, data, base, disp)
@@ -272,9 +323,13 @@ func (em *emitter) adaptiveAccess(idx int, k memKind, data host.Reg, base host.R
 	// Aligned: bump the streak counter. The counter lives in tmpC/tmpD
 	// (MDA scratch): data may be tmpImm (a CALL's pushed return address)
 	// or tmpIndirect (a RET's target) and must survive until the arms.
+	// The counter accesses are BT-internal data at 4-byte-aligned addresses
+	// (allocCounter): proven aligned by construction.
 	a.MovImm(tmpC, int64(ctr))
+	em.markAligned(a.PC())
 	a.Mem(host.LDL, tmpD, 0, tmpC)
 	a.OprLit(host.ADDL, tmpD, 1, tmpD)
+	em.markAligned(a.PC())
 	a.Mem(host.STL, tmpD, 0, tmpC)
 	a.OprLit(host.CMPLT, tmpD, em.e.Opt.AdaptiveStreak, tmpCond)
 	a.Br(host.BNE, tmpCond, aligned)
@@ -286,10 +341,11 @@ func (em *emitter) adaptiveAccess(idx int, k memKind, data host.Reg, base host.R
 		a.Brk(svcAdaptiveFlag)
 	}
 	a.Label(aligned)
-	emitPlain(a, k, data, base, disp) // guarded: cannot trap
+	em.markGuarded(emitPlain(a, k, data, base, disp)) // guarded: cannot trap
 	a.Br(host.BR, host.Zero, end)
 	a.Label(mda)
 	a.MovImm(tmpC, int64(ctr))
+	em.markAligned(a.PC())
 	a.Mem(host.STL, host.Zero, 0, tmpC) // reset the streak
 	emitMDA(a, k, data, base, disp)
 	a.Label(end)
@@ -612,9 +668,12 @@ func (em *emitter) inst(idx int, pc uint32, nextPC uint32) error {
 			a.OprLit(host.SLL, tmpA, 4, tmpA)
 			a.MovImm(tmpImm, ibtcBase)
 			a.Opr(host.ADDQ, tmpImm, tmpA, tmpA)
+			// IBTC entries are 16-byte table slots: aligned by construction.
+			em.markAligned(a.PC())
 			a.Mem(host.LDQ, tmpB, 0, tmpA) // cached guest tag
 			a.Opr(host.CMPEQ, tmpB, tmpIndirect, tmpCond)
 			a.Br(host.BEQ, tmpCond, miss)
+			em.markAligned(a.PC())
 			a.Mem(host.LDQ, tmpB, 8, tmpA) // cached host entry
 			a.Jmp(host.JMP, host.Zero, tmpB)
 			a.Label(miss)
@@ -733,7 +792,6 @@ func (em *emitter) body() error {
 // engine-global per-site alignment profiles.
 func (e *Engine) sitePolicies(b *block) (map[int]sitePolicy, bool) {
 	pol := make(map[int]sitePolicy)
-	anyMixed := false
 	for idx, in := range b.insts {
 		instPC := b.instPCs[idx]
 		k, isMem := guestKind(in.Op)
@@ -773,7 +831,6 @@ func (e *Engine) sitePolicies(b *block) (map[int]sitePolicy, bool) {
 						if ratio >= e.Opt.MixedSiteMin && ratio <= e.Opt.MixedSiteMax {
 							pol[idx] = polMixed
 							b.mixed[idx] = true
-							anyMixed = true
 						}
 					}
 				}
@@ -787,8 +844,30 @@ func (e *Engine) sitePolicies(b *block) (map[int]sitePolicy, bool) {
 				}
 			}
 		}
+		// Static alignment layer: a decisive whole-instruction verdict
+		// overrides the base mechanism — proven-aligned sites run plain
+		// with no trap hook or adaptive bookkeeping, proven-misaligned
+		// sites inline the MDA sequence with zero first-trap cost. Unknown
+		// (and mixed-stream) sites keep the base mechanism's decision;
+		// memAccessSub further refines per access stream.
+		if e.Opt.StaticAlign {
+			v := e.alignDB.InstVerdict(instPC, in.Op)
+			b.averdict[idx] = v
+			switch v {
+			case align.Aligned:
+				pol[idx] = polPlain
+				delete(b.mixed, idx)
+				e.stats.StaticAlignedSites++
+			case align.Misaligned:
+				pol[idx] = polSeq
+				delete(b.mixed, idx)
+				e.stats.StaticMisalignedSites++
+			default:
+				e.stats.StaticUnknownSites++
+			}
+		}
 	}
-	return pol, anyMixed
+	return pol, len(b.mixed) > 0
 }
 
 // translate translates the unit at guest pc — a basic block, or a trace of
@@ -812,13 +891,16 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 		}
 	}
 	b := &block{
-		guestPC:  pc,
-		insts:    insts,
-		instLens: lens,
-		instPCs:  pcs,
-		nblocks:  nblocks,
-		knownMDA: make(map[int]bool),
-		mixed:    make(map[int]bool),
+		guestPC:    pc,
+		insts:      insts,
+		instLens:   lens,
+		instPCs:    pcs,
+		nblocks:    nblocks,
+		knownMDA:   make(map[int]bool),
+		mixed:      make(map[int]bool),
+		averdict:   make(map[int]align.Verdict),
+		alignedPCs: make(map[uint64]bool),
+		guardedPCs: make(map[uint64]bool),
 	}
 	for _, n := range lens {
 		b.guestLen += uint32(n)
@@ -829,6 +911,7 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 		b.knownMDA[idx] = true
 	}
 	policy, anyMixed := e.sitePolicies(b)
+	b.sitePol = policy
 	b.twoVer = anyMixed
 
 	// Adaptive sites need streak counters at addresses known to both

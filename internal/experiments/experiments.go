@@ -152,6 +152,8 @@ func Registry() []struct {
 		{"ablation-chaining", ChainingAblation},
 		{"ablation-ibtc", IBTCAblation},
 		{"ablation-superblocks", SuperblockAblation},
+		{"staticalign", StaticAlignStudy},
+		{"sitehist", SiteHistogram},
 	}
 }
 

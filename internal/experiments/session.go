@@ -27,10 +27,11 @@ type Config struct {
 	NoChain      bool // disable translation chaining (ablation)
 	IBTC         bool // indirect-branch translation cache (ablation)
 	Superblocks  bool // phase-2 trace formation (ablation)
+	StaticAlign  bool // static alignment analysis layer (PR 3)
 }
 
 func (c Config) key() string {
-	return fmt.Sprintf("%d/%d/%v%v%v%v%v%v%v%v", c.Mech, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks)
+	return fmt.Sprintf("%d/%d/%v%v%v%v%v%v%v%v%v", c.Mech, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks, c.StaticAlign)
 }
 
 // String names the configuration for reports.
@@ -62,6 +63,9 @@ func (c Config) String() string {
 	}
 	if c.Superblocks {
 		s += "+superblocks"
+	}
+	if c.StaticAlign {
+		s += "+staticalign"
 	}
 	return s
 }
@@ -240,6 +244,7 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	opt.NoChain = cfg.NoChain
 	opt.IBTC = cfg.IBTC
 	opt.Superblocks = cfg.Superblocks
+	opt.StaticAlign = cfg.StaticAlign
 	if cfg.Mech == core.StaticProfile {
 		opt.StaticSites, err = s.trainSites(name)
 		if err != nil {
@@ -256,6 +261,12 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	e := core.NewEngine(m, mach, opt)
 	if err := e.Run(p.Entry(), s.Budget); err != nil {
 		return RunResult{}, fmt.Errorf("experiments: %s under %v: %w", name, cfg, err)
+	}
+	// Every run doubles as a verifier pass: the emitted code of every live
+	// translation must lint clean (ISSUE 3 acceptance criterion).
+	if findings := e.Lint(); len(findings) > 0 {
+		return RunResult{}, fmt.Errorf("experiments: %s under %v: translation lint: %s (%d findings)",
+			name, cfg, findings[0], len(findings))
 	}
 	r = RunResult{Counters: mach.Counters(), Stats: e.Stats()}
 	s.mu.Lock()

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"mdabt/internal/align"
+	"mdabt/internal/guest"
+	"mdabt/internal/mem"
+	"mdabt/internal/workload"
+)
+
+// This file holds the PR 3 extension experiments: the static alignment
+// analysis layered over each of the paper's mechanisms (staticalign) and
+// the per-benchmark verdict histogram (sitehist, the coverage companion to
+// Table I).
+
+// memDecoder wraps guest.Decode over a loaded memory image, for analyzing
+// a program outside an engine.
+func memDecoder(m *mem.Memory) align.Decoder {
+	return func(pc uint32) (guest.Inst, int, error) {
+		var buf [16]byte
+		for i := range buf {
+			buf[i] = m.Read8(uint64(pc) + uint64(i))
+		}
+		return guest.Decode(buf[:])
+	}
+}
+
+// Analyze runs the whole-program alignment analysis over a benchmark's
+// loaded image (Ref input), exactly as the engine does at Run entry.
+func (s *Session) Analyze(name string) (*align.Analysis, error) {
+	p, err := s.Program(name, "")
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	p.Load(m, workload.Ref)
+	return align.Analyze(memDecoder(m), p.Entry()), nil
+}
+
+// StaticAlignStudy measures the +staticalign layer over every Figure 16
+// mechanism: per-benchmark percentage gain of mechanism+staticalign over
+// the plain mechanism.
+func StaticAlignStudy(s *Session) (*Result, error) {
+	names := selectedNames()
+	order := []string{"Direct", "StaticProfiling", "DynamicProfiling", "ExceptionHandling", "DPEH"}
+	r := newResult("staticalign", "Extension: gain from the static alignment analysis per mechanism (%)",
+		names, order...)
+	cfgs := Fig16Configs()
+	err := s.forEach(names, func(name string) error {
+		for _, series := range order {
+			base := cfgs[series]
+			variant := base
+			variant.StaticAlign = true
+			b, err := s.Run(name, base)
+			if err != nil {
+				return err
+			}
+			v, err := s.Run(name, variant)
+			if err != nil {
+				return err
+			}
+			r.set(series, name, 100*(float64(b.Cycles())/float64(v.Cycles())-1))
+		}
+		return nil
+	})
+	r.Notes = append(r.Notes,
+		"Direct gains most: proven-aligned sites (stack traffic, fixed-offset filler fields) drop the 6-11 instruction MDA sequence",
+		"exception-based mechanisms were already paying nothing on aligned sites, so their deltas are analysis-cost noise")
+	return r, err
+}
+
+// SiteHistogram renders the per-benchmark classification histogram: how
+// many static sites the analysis proves aligned/misaligned (vs unknown),
+// and the share of dynamic non-byte accesses each class covers (census-
+// weighted), so analysis coverage is inspectable against Table I.
+func SiteHistogram(s *Session) (*Result, error) {
+	names := selectedNames()
+	r := newResult("sitehist", "Extension: static alignment verdict histogram (sites and dynamic weight)",
+		names, "aligned", "misaligned", "unknown", "dynAligned%", "dynMisaligned%", "dynUnknown%")
+	err := s.forEach(names, func(name string) error {
+		a, err := s.Analyze(name)
+		if err != nil {
+			return err
+		}
+		var static [3]float64
+		for _, site := range a.Sites() {
+			static[site.Verdict]++
+		}
+		r.set("aligned", name, static[align.Aligned])
+		r.set("misaligned", name, static[align.Misaligned])
+		r.set("unknown", name, static[align.Unknown])
+
+		// Dynamic weights: every non-byte access the census interpreter
+		// executed, attributed to its instruction's folded verdict.
+		c, err := s.Census(name, workload.Ref)
+		if err != nil {
+			return err
+		}
+		p, err := s.Program(name, "")
+		if err != nil {
+			return err
+		}
+		m := mem.New()
+		p.Load(m, workload.Ref)
+		dec := memDecoder(m)
+		var dyn [3]float64
+		var total float64
+		for pc, cs := range c.Sites {
+			execs := float64(cs.MDA + cs.Aligned)
+			if execs == 0 {
+				continue
+			}
+			v := align.Unknown
+			if in, _, derr := dec(pc); derr == nil {
+				v = a.InstVerdict(pc, in.Op)
+			}
+			dyn[v] += execs
+			total += execs
+		}
+		if total > 0 {
+			r.set("dynAligned%", name, 100*dyn[align.Aligned]/total)
+			r.set("dynMisaligned%", name, 100*dyn[align.Misaligned]/total)
+			r.set("dynUnknown%", name, 100*dyn[align.Unknown]/total)
+		}
+		return nil
+	})
+	r.Notes = append(r.Notes,
+		"static columns count access streams over the whole program; dyn columns weight each instruction by census executions",
+		"workload-group accesses stay unknown (base pointers loaded from memory); stack and fixed-offset filler traffic proves aligned")
+	return r, err
+}
