@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_COUNT ?= 10
 
-.PHONY: all build test race bench bench-smoke bench-json fmt vet
+.PHONY: all build test race bench bench-smoke bench-json fmt vet mech-smoke
 
 all: build test
 
@@ -24,6 +24,11 @@ bench:
 # One iteration per benchmark across the repo — the CI smoke job.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# One experiment run per registered mechanism (policy registry) — the CI
+# mechanism-smoke job.
+mech-smoke:
+	$(GO) test -run '^TestRegistryMechanismSmoke$$' -v ./internal/experiments
 
 # Machine-readable summary (guest MIPS, ns/guest-inst, allocs) → BENCH_2.json.
 bench-json:

@@ -3,18 +3,22 @@
 //
 // Usage:
 //
-//	dbtrun -mech eh [-rearrange] [-retranslate] [-multiversion] [-threshold N] prog.gasm
+//	dbtrun -mechanism eh [-rearrange] [-retranslate] [-multiversion] [-threshold N] prog.gasm
 //	dbtrun -bench 410.bwaves -mech dynprof -threshold 50
 //
 // The positional argument is a guest assembly file (see internal/guestasm
 // for the syntax). Alternatively -bench runs one of the built-in SPEC
-// benchmark models.
+// benchmark models. Mechanisms are selected by policy-registry name (or
+// alias): direct, static-profile, dynamic-profile, exception-handling,
+// dpeh, speh — newly registered mechanisms are selectable with no CLI
+// changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mdabt/internal/core"
 	"mdabt/internal/faultinject"
@@ -22,20 +26,15 @@ import (
 	"mdabt/internal/guestasm"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
+	"mdabt/internal/policy"
 	"mdabt/internal/profiling"
 	"mdabt/internal/workload"
 )
 
-var mechByName = map[string]core.Mechanism{
-	"direct":  core.Direct,
-	"static":  core.StaticProfile,
-	"dynprof": core.DynamicProfile,
-	"eh":      core.ExceptionHandling,
-	"dpeh":    core.DPEH,
-}
-
 func main() {
-	mechName := flag.String("mech", "eh", "mechanism: direct, static, dynprof, eh, dpeh")
+	mechName := flag.String("mechanism", "eh",
+		"MDA mechanism, by policy-registry name or alias ("+strings.Join(policy.Names(), ", ")+")")
+	flag.StringVar(mechName, "mech", *mechName, "shorthand for -mechanism")
 	threshold := flag.Uint64("threshold", 0, "heating threshold (0 = mechanism default)")
 	rearrange := flag.Bool("rearrange", false, "enable code rearrangement (EH)")
 	retranslate := flag.Bool("retranslate", false, "enable block retranslation (DPEH)")
@@ -70,9 +69,9 @@ func main() {
 		}
 	}()
 
-	mech, ok := mechByName[*mechName]
+	mech, ok := core.MechanismByName(*mechName)
 	if !ok {
-		fail("unknown mechanism %q", *mechName)
+		fail("unknown mechanism %q (have %s)", *mechName, strings.Join(policy.AllNames(), ", "))
 	}
 	opt := core.DefaultOptions(mech)
 	if *threshold != 0 {
@@ -92,6 +91,9 @@ func main() {
 	}
 	if *faultRate > 0 {
 		opt.FaultPlan = faultinject.New(*faultSeed).RateAll(*faultRate)
+	}
+	if err := opt.Validate(); err != nil {
+		fail("%v", err)
 	}
 
 	m := mem.New()
@@ -115,7 +117,7 @@ func main() {
 		}
 		prog.Load(m, in)
 		entry = prog.Entry()
-		if mech == core.StaticProfile && *profileIn == "" {
+		if p, ok := policy.ByID(int(mech)); ok && p.UsesStaticProfile() && *profileIn == "" {
 			opt.StaticSites = trainProfile(prog)
 		}
 	case flag.NArg() == 1:

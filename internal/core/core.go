@@ -25,37 +25,66 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/host"
+	"mdabt/internal/policy"
 )
 
-// Mechanism selects the MDA handling mechanism (paper Table II).
+// Mechanism selects the MDA handling mechanism (paper Table II). It is a
+// compatibility shim over the internal/policy registry: the value is the
+// registry ID, and the named constants below mirror the built-in
+// registration order. Out-of-tree mechanisms registered with
+// policy.Register are addressable as Mechanism(id) or via MechanismByName.
 type Mechanism int
 
-// Mechanisms under evaluation.
+// Mechanisms under evaluation. SPEH (static profiling + exception
+// handling) is the composite the paper implies but never measures.
 const (
 	Direct Mechanism = iota
 	StaticProfile
 	DynamicProfile
 	ExceptionHandling
 	DPEH
+	SPEH
 )
 
-var mechanismNames = map[Mechanism]string{
-	Direct:            "direct",
-	StaticProfile:     "static-profile",
-	DynamicProfile:    "dynamic-profile",
-	ExceptionHandling: "exception-handling",
-	DPEH:              "dpeh",
-}
-
-// String returns the mechanism's short name.
+// String returns the mechanism's registry name.
 func (m Mechanism) String() string {
-	if s, ok := mechanismNames[m]; ok {
+	if s, ok := policy.NameOf(int(m)); ok {
 		return s
 	}
 	return "mechanism?"
+}
+
+// MechanismByName resolves a registry name or alias ("eh", "dynprof", …)
+// to its mechanism ID.
+func MechanismByName(name string) (Mechanism, bool) {
+	id, ok := policy.ID(name)
+	return Mechanism(id), ok
+}
+
+// Mechanisms returns every registered mechanism in registry order.
+func Mechanisms() []Mechanism {
+	names := policy.Names()
+	out := make([]Mechanism, len(names))
+	for i := range names {
+		out[i] = Mechanism(i)
+	}
+	return out
+}
+
+// newMechanism builds a fresh strategy instance for the mechanism ID.
+func (m Mechanism) newMechanism() (policy.Mechanism, error) {
+	p, ok := policy.ByID(int(m))
+	if !ok {
+		return nil, fmt.Errorf("core: unknown mechanism id %d (have %s)",
+			int(m), strings.Join(policy.Names(), ", "))
+	}
+	return p, nil
 }
 
 // Options configures the translator: the mechanism, its tuning knobs
@@ -181,9 +210,13 @@ type Options struct {
 // settings (DynamicProfile threshold 50; DPEH low threshold; retranslation
 // threshold 4).
 func DefaultOptions(m Mechanism) Options {
+	heat := uint64(50)
+	if p, ok := policy.ByID(int(m)); ok {
+		heat = p.HeatThreshold()
+	}
 	o := Options{
 		Mechanism:              m,
-		HeatThreshold:          50,
+		HeatThreshold:          heat,
 		RetransThreshold:       4,
 		MixedSiteMin:           0.05,
 		MixedSiteMax:           0.95,
@@ -198,9 +231,6 @@ func DefaultOptions(m Mechanism) Options {
 		AnalyzeCyclesPerInst:   40,
 		CodeCacheBytes:         4 << 20,
 		PatchRetryLimit:        8,
-	}
-	if m == DPEH {
-		o.HeatThreshold = 10 // "relatively low threshold" (§IV-B)
 	}
 	return o
 }
@@ -253,16 +283,75 @@ func (o *Options) normalize() {
 	}
 }
 
-// usesProfilingPhase reports whether the mechanism interprets blocks before
-// translating them.
-func (o *Options) usesProfilingPhase() bool {
-	return o.Mechanism == DynamicProfile || o.Mechanism == DPEH
+// buildMechanism constructs the strategy object for the options: the base
+// mechanism from the registry, wrapped in the §IV extension decorators the
+// options enable. Decorators are capability-gated on the *base* strategy —
+// profile-driven shapes (multi-version, adaptive) need a two-phase
+// patching base, trap-driven reactions (retranslate, rearrange) a patching
+// base — so the same Options work over any registered mechanism with the
+// extensions it can actually honor. Validate rejects combinations the base
+// cannot honor before this is reached.
+//
+// Wrap order encodes the engine's historical priorities: WithRetranslate
+// sits inside WithRearrange (a block over the retranslation threshold is
+// retranslated, not rearranged), and WithStaticAlign is outermost (a
+// decisive analysis verdict outranks every profile- and trap-driven
+// shape).
+func (o *Options) buildMechanism() (policy.Mechanism, error) {
+	m, err := o.Mechanism.newMechanism()
+	if err != nil {
+		return nil, err
+	}
+	profiled, patching := m.WantsInterpProfiling(), policy.Patches(m)
+	if o.MultiVersion && profiled && patching {
+		m = policy.WithMultiVersion(m, o.MixedSiteMin, o.MixedSiteMax)
+	}
+	if o.Adaptive && profiled && patching {
+		m = policy.WithAdaptive(m)
+	}
+	if o.Retranslate && patching {
+		m = policy.WithRetranslate(m, o.RetransThreshold)
+	}
+	if o.Rearrange && patching {
+		m = policy.WithRearrange(m)
+	}
+	if o.StaticAlign {
+		m = policy.WithStaticAlign(m)
+	}
+	return m, nil
 }
 
-// usesExceptionPatching reports whether the BT's misalignment handler
-// patches faulting sites (versus leaving traps to the OS fixup).
-func (o *Options) usesExceptionPatching() bool {
-	return o.Mechanism == ExceptionHandling || o.Mechanism == DPEH
+// Validate rejects contradictory option combinations that previously
+// no-opped silently. It checks the effective configuration — a normalized
+// copy with mechanism defaults filled in — so a zero HeatThreshold only
+// fails when the mechanism's own default is zero too. NewEngine validates
+// automatically (the error surfaces from Run); CLIs call it up front for
+// early diagnostics.
+func (o Options) Validate() error {
+	o.normalize()
+	base, err := o.Mechanism.newMechanism()
+	if err != nil {
+		return err
+	}
+	profiled, patching := base.WantsInterpProfiling(), policy.Patches(base)
+	name := base.Name()
+	switch {
+	case o.Rearrange && !patching:
+		return fmt.Errorf("core: Rearrange needs an exception-patching mechanism, not %s", name)
+	case o.Retranslate && !patching:
+		return fmt.Errorf("core: Retranslate needs an exception-patching mechanism, not %s", name)
+	case o.MultiVersion && !(profiled && patching):
+		return fmt.Errorf("core: MultiVersion needs a profiling exception-patching mechanism (dpeh), not %s", name)
+	case o.Adaptive && !(profiled && patching):
+		return fmt.Errorf("core: Adaptive needs a profiling exception-patching mechanism (dpeh), not %s", name)
+	case o.MVBlockGranularity && !o.MultiVersion:
+		return fmt.Errorf("core: MVBlockGranularity requires MultiVersion")
+	case o.MixedSiteMin > o.MixedSiteMax:
+		return fmt.Errorf("core: MixedSiteMin %g > MixedSiteMax %g", o.MixedSiteMin, o.MixedSiteMax)
+	case profiled && o.HeatThreshold == 0:
+		return fmt.Errorf("core: %s is two-phase but the heating threshold is zero", name)
+	}
+	return nil
 }
 
 // Guest→host register mapping (paper Fig. 2: "register %eax and %ebx in X86

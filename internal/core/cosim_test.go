@@ -72,6 +72,18 @@ func allConfigs(staticSites map[uint32]bool) []Options {
 	dpehAdSA := dpehAd
 	dpehAdSA.StaticAlign = true
 	add(dpehAdSA)
+	// The SPEH hybrid: train-marked sites eager, late sites trap-and-patch.
+	sp := DefaultOptions(SPEH)
+	sp.StaticSites = staticSites
+	add(sp)
+	spR := sp
+	spR.Rearrange = true
+	add(spR)
+	spSA := sp
+	spSA.StaticAlign = true
+	add(spSA)
+	// SPEH with an empty profile degenerates to pure exception handling.
+	add(DefaultOptions(SPEH))
 	return configs
 }
 

@@ -10,6 +10,7 @@ import (
 	"mdabt/internal/host"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
+	"mdabt/internal/policy"
 )
 
 // ErrBudget is returned by Run when the host-instruction budget is
@@ -41,6 +42,17 @@ type Engine struct {
 	Mach *machine.Machine
 	Opt  Options
 	CPU  guest.CPU
+
+	// mech is the strategy object driving every mechanism decision (base
+	// mechanism + option decorators, built once from Opt); the engine only
+	// runs the hook protocol (see internal/policy). profiled caches
+	// mech.WantsInterpProfiling for the dispatch hot path.
+	mech     policy.Mechanism
+	profiled bool
+	// optErr latches an Options validation or mechanism lookup failure;
+	// Run reports it immediately (NewEngine keeps its error-free
+	// signature).
+	optErr error
 
 	cc       *codeCache
 	blocks   map[uint32]*block
@@ -112,6 +124,13 @@ func NewEngine(m *mem.Memory, mach *machine.Machine, opt Options) *Engine {
 		blacklist:   make(map[uint32]bool),
 		softEmu:     make(map[uint32]bool),
 		counterNext: counterBase,
+	}
+	if err := opt.Validate(); err != nil {
+		e.optErr = err
+	} else if e.mech, err = opt.buildMechanism(); err != nil {
+		e.optErr = err
+	} else {
+		e.profiled = e.mech.WantsInterpProfiling()
 	}
 	mach.SetMisalignHandler(e.handleMisalign)
 	if opt.FaultPlan != nil {
@@ -415,6 +434,9 @@ func (e *Engine) blacklistBlock(pc uint32, cause error) {
 // instructions count 1:1 against the same budget). It returns ErrBudget on
 // exhaustion.
 func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
+	if e.optErr != nil {
+		return e.optErr
+	}
 	e.CPU.Reset(entry)
 	e.hostCurrent = false
 	e.halted = false
@@ -454,7 +476,7 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 			}
 			b := e.lookupBlock(target)
 			if b == nil {
-				if e.Opt.usesProfilingPhase() {
+				if e.profiled {
 					if p := e.profile(target); p.heat < e.Opt.HeatThreshold {
 						e.syncToCPU()
 						p.heat++
@@ -467,6 +489,7 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 						continue
 					}
 				}
+				e.mech.OnBlockHot(target)
 				var err error
 				b, err = e.ensureTranslated(target)
 				if err != nil {
@@ -580,14 +603,24 @@ func stubKind(op host.Op) (memKind, bool) {
 // cost is charged.
 func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, ea uint64) uint64 {
 	ref, known := e.sites[pc]
-	if !known || !e.Opt.usesExceptionPatching() || ref.b.invalid {
+	// The mechanism decides the reaction; Fixup means it has no exception
+	// handler and the OS-style software fixup is the permanent cost.
+	act := policy.Fixup
+	if known {
+		act = e.mech.OnMisalignTrap(policy.TrapCtx{
+			GuestPC:    ref.site.guestPC,
+			BlockPC:    ref.b.guestPC,
+			BlockTraps: ref.b.trapCount + 1,
+		})
+	}
+	if !known || act == policy.Fixup || ref.b.invalid {
 		// OS-style fixup: emulate the access and continue. This is the
 		// every-time cost that Direct/Static/Dynamic mechanisms pay for
 		// sites they failed to convert, and the conservative path for
 		// stale code. Traps in stale (invalidated) code still teach the
 		// translator about the site, so the pending retranslation inlines
 		// it instead of rediscovering it one trap at a time.
-		if known && e.Opt.usesExceptionPatching() && ref.b.invalid {
+		if known && act != policy.Fixup && ref.b.invalid {
 			e.retained(ref.b.guestPC)[ref.site.instIdx] = true
 		}
 		if !known && e.Opt.StaticAlign {
@@ -614,13 +647,14 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 
 	// Retranslation policy (§IV-C, Fig. 7): too many traps in one block ⇒
 	// discard the translation and restart profiling for it.
-	if e.Opt.Retranslate && b.trapCount >= e.Opt.RetransThreshold {
+	if act == policy.Retranslate {
 		m.EmulateAccess(inst, ea)
 		e.invalidateBlock(b)
 		e.profiles[b.guestPC] = newBlockProfile() // restart dynamic profiling
 		for _, ipc := range b.instPCs {
 			e.dec.clearProf(ipc) // restart the per-site profiles too
 		}
+		e.mech.OnRetranslate(b.guestPC)
 		e.event(EvRetranslate, b.guestPC, 0, "")
 		e.stats.Retranslations++
 		e.selfCheck("retranslate")
@@ -630,7 +664,7 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 	// Code rearrangement (§IV-A, Fig. 6): retranslate the block in place
 	// with the MDA sequence inline, preserving locality, instead of
 	// patching in a branch to a distant stub.
-	if e.Opt.Rearrange {
+	if act == policy.Rearrange {
 		m.EmulateAccess(inst, ea)
 		e.invalidateBlock(b)
 		// Repositioning reuses the block's existing IR and relocates code

@@ -411,7 +411,7 @@ func TestMechanismString(t *testing.T) {
 	for m, want := range map[Mechanism]string{
 		Direct: "direct", StaticProfile: "static-profile",
 		DynamicProfile: "dynamic-profile", ExceptionHandling: "exception-handling",
-		DPEH: "dpeh",
+		DPEH: "dpeh", SPEH: "speh",
 	} {
 		if m.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
@@ -950,15 +950,18 @@ func TestEventKindStrings(t *testing.T) {
 	}
 }
 
-func TestAdaptiveDisabledForNonDPEH(t *testing.T) {
-	// The adaptive option is a DPEH refinement; under plain EH it must be
-	// inert (no adaptive sites emitted, results unchanged).
+func TestAdaptiveRejectedForNonDPEH(t *testing.T) {
+	// The adaptive option is a DPEH refinement; under plain EH it used to
+	// no-op silently — now Validate rejects the combination and Run
+	// surfaces the error.
 	opt := DefaultOptions(ExceptionHandling)
 	opt.Adaptive = true
+	if err := opt.Validate(); err == nil {
+		t.Fatal("Validate accepted Adaptive under exception-handling")
+	}
 	e := engineFor(t, mdaLoopImg(t, 300), opt)
-	mustRun(t, e)
-	if e.Stats().AdaptiveSites != 0 {
-		t.Errorf("adaptive sites emitted under EH: %d", e.Stats().AdaptiveSites)
+	if err := e.Run(guest.CodeBase, 1<<20); err == nil {
+		t.Fatal("Run accepted Adaptive under exception-handling")
 	}
 }
 

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// The golden file pins the exact simulated behaviour (machine counters and
+// engine statistics) of every mechanism configuration on a set of
+// deterministic guest programs. It was generated on the pre-refactor seed
+// (before the policy-registry extraction) with
+//
+//	go test ./internal/core -run TestMechanismEquivalence -update_equivalence
+//
+// so the test proves the strategy-object refactor is bit-identical to the
+// original switch-based implementation: same cycles, same traps, same Stats
+// counters, per configuration.
+var updateEquivalence = flag.Bool("update_equivalence", false,
+	"rewrite testdata/equivalence_golden.txt from the current implementation")
+
+const equivalenceGoldenPath = "testdata/equivalence_golden.txt"
+
+// equivalenceConfigs mirrors the cosim configuration matrix with stable
+// names for golden-file keys.
+func equivalenceConfigs(static map[uint32]bool) []struct {
+	name string
+	opt  Options
+} {
+	var out []struct {
+		name string
+		opt  Options
+	}
+	add := func(name string, o Options) {
+		out = append(out, struct {
+			name string
+			opt  Options
+		}{name, o})
+	}
+
+	add("direct", DefaultOptions(Direct))
+	st := DefaultOptions(StaticProfile)
+	st.StaticSites = static
+	add("static-profile", st)
+	dp := DefaultOptions(DynamicProfile)
+	dp.HeatThreshold = 3
+	add("dynamic-profile/th3", dp)
+	add("dynamic-profile/default", DefaultOptions(DynamicProfile))
+	add("exception-handling", DefaultOptions(ExceptionHandling))
+	ehr := DefaultOptions(ExceptionHandling)
+	ehr.Rearrange = true
+	add("eh+rearrange", ehr)
+	dpeh := DefaultOptions(DPEH)
+	dpeh.HeatThreshold = 3
+	add("dpeh/th3", dpeh)
+	add("dpeh/default", DefaultOptions(DPEH))
+	dpehR := dpeh
+	dpehR.Retranslate = true
+	dpehR.RetransThreshold = 2
+	add("dpeh+retrans", dpehR)
+	dpehM := dpeh
+	dpehM.MultiVersion = true
+	add("dpeh+mv", dpehM)
+	dpehMB := dpehM
+	dpehMB.MVBlockGranularity = true
+	add("dpeh+mvblock", dpehMB)
+	dpehAd := dpeh
+	dpehAd.Adaptive = true
+	dpehAd.AdaptiveStreak = 8
+	add("dpeh+adaptive", dpehAd)
+	dSA := DefaultOptions(Direct)
+	dSA.StaticAlign = true
+	add("direct+staticalign", dSA)
+	ehSA := DefaultOptions(ExceptionHandling)
+	ehSA.StaticAlign = true
+	add("eh+staticalign", ehSA)
+	dpehSA := dpeh
+	dpehSA.Retranslate = true
+	dpehSA.MultiVersion = true
+	dpehSA.StaticAlign = true
+	add("dpeh+retrans+mv+staticalign", dpehSA)
+	sb := DefaultOptions(DPEH)
+	sb.HeatThreshold = 6
+	sb.Superblocks = true
+	sb.IBTC = true
+	add("dpeh+superblocks+ibtc", sb)
+	return out
+}
+
+// equivalenceFingerprint reduces one run to a canonical line: every machine
+// counter and every Stats field, in declaration order via %+v.
+func equivalenceFingerprint(e *Engine) string {
+	c := e.Mach.Counters()
+	return fmt.Sprintf("counters=%+v stats=%+v", c, e.Stats())
+}
+
+func TestMechanismEquivalence(t *testing.T) {
+	programs := []struct {
+		name string
+		img  []byte
+	}{
+		{"misloop", mdaLoopImg(t, 300)},
+		{"lateonset", lateOnsetImg(t, 100, 400)},
+		{"multiblock", multiBlockLoopImg(t, 800)},
+		{"mixedgroup", mixedGroupImg(t, 300)},
+	}
+	data := patternData(256)
+
+	got := make(map[string]string)
+	var keys []string
+	for _, p := range programs {
+		static := censusSites(t, p.img, data)
+		for _, cfg := range equivalenceConfigs(static) {
+			key := p.name + "|" + cfg.name
+			_, _, e := runDBT(t, p.img, data, cfg.opt)
+			got[key] = equivalenceFingerprint(e)
+			keys = append(keys, key)
+		}
+	}
+
+	if *updateEquivalence {
+		var sb strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s\t%s\n", k, got[k])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(equivalenceGoldenPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden fingerprints", len(keys))
+		return
+	}
+
+	raw, err := os.ReadFile(equivalenceGoldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update_equivalence on the seed): %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		k, v, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[k] = v
+	}
+	for _, k := range keys {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: no golden entry (regenerate the golden file)", k)
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("%s: behaviour diverged from pre-refactor seed\n got %s\nwant %s", k, got[k], w)
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("%s: golden entry no longer exercised", k)
+		}
+	}
+}

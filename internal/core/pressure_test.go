@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mdabt/internal/guest"
+	"mdabt/internal/policy"
 )
 
 // pressureProgram is a multi-phase workload: enough distinct hot blocks
@@ -37,12 +38,16 @@ func TestCachePressureAllMechanisms(t *testing.T) {
 	refCPU, refArena := reference(t, img, data)
 	static := censusSites(t, img, data)
 
-	for _, mech := range []Mechanism{Direct, StaticProfile, DynamicProfile, ExceptionHandling, DPEH} {
+	for _, mech := range Mechanisms() {
 		opt := DefaultOptions(mech)
-		switch mech {
-		case StaticProfile:
+		p, ok := policy.ByID(int(mech))
+		if !ok {
+			t.Fatalf("no strategy for %v", mech)
+		}
+		if p.UsesStaticProfile() {
 			opt.StaticSites = static
-		case DynamicProfile, DPEH:
+		}
+		if p.WantsInterpProfiling() {
 			opt.HeatThreshold = 3
 		}
 		opt.CodeCacheBytes = 512

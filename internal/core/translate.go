@@ -7,6 +7,7 @@ import (
 	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
 	"mdabt/internal/host"
+	"mdabt/internal/policy"
 )
 
 // maxBlockInsts caps basic-block length; longer straight-line runs are
@@ -787,84 +788,64 @@ func (em *emitter) body() error {
 	return nil
 }
 
-// sitePolicies computes the per-site translation policy for the unit
-// according to the mechanism (see the package comment), consulting the
-// engine-global per-site alignment profiles.
+// fromPolicy maps the mechanism seam's site decision onto the emitter's
+// internal policy enum.
+func fromPolicy(p policy.SitePolicy) sitePolicy {
+	switch p {
+	case policy.Seq:
+		return polSeq
+	case policy.Mixed:
+		return polMixed
+	case policy.Adaptive:
+		return polAdaptive
+	}
+	return polPlain
+}
+
+// sitePolicies computes the per-site translation policy for the unit by
+// assembling a SiteCtx snapshot per memory site (trap history, train
+// profile, interpretation profile, adaptive reversion, static-analysis
+// verdict) and asking the mechanism strategy. The engine records the
+// verdicts and mixed-site set for the emitter; everything mechanism-
+// specific lives behind the policy seam.
 func (e *Engine) sitePolicies(b *block) (map[int]sitePolicy, bool) {
 	pol := make(map[int]sitePolicy)
 	for idx, in := range b.insts {
 		instPC := b.instPCs[idx]
-		k, isMem := guestKind(in.Op)
-		if !isMem {
+		if _, isMem := guestKind(in.Op); !isMem {
 			continue
 		}
-		_ = k
-		switch e.Opt.Mechanism {
-		case Direct:
-			pol[idx] = polSeq
-		case StaticProfile:
-			if e.Opt.StaticSites[instPC] {
-				pol[idx] = polSeq
-			} else {
-				pol[idx] = polPlain
-			}
-		case ExceptionHandling:
-			// Plain unless a prior trap (or rearrangement) discovered the
-			// site; rearranged retranslations inline the sequence.
-			if b.knownMDA[idx] {
-				pol[idx] = polSeq
-			} else {
-				pol[idx] = polPlain
-			}
-		case DynamicProfile, DPEH:
-			pol[idx] = polPlain
-			if b.knownMDA[idx] {
-				pol[idx] = polSeq
-			}
-			{
-				if s := e.dec.profAt(instPC); s != nil && s.mda > 0 {
-					pol[idx] = polSeq
-					// Multi-version: a sometimes-aligned site gets the
-					// guarded two-shape form (§IV-D).
-					if e.Opt.MultiVersion && e.Opt.Mechanism == DPEH && s.aligned > 0 {
-						ratio := float64(s.mda) / float64(s.total())
-						if ratio >= e.Opt.MixedSiteMin && ratio <= e.Opt.MixedSiteMax {
-							pol[idx] = polMixed
-							b.mixed[idx] = true
-						}
-					}
-				}
-			}
-			if e.Opt.Adaptive && e.Opt.Mechanism == DPEH {
-				if e.reverted[b.guestPC] != nil && e.reverted[b.guestPC][idx] {
-					// The adaptive monitor decided this site realigned.
-					pol[idx] = polPlain
-				} else if pol[idx] == polSeq {
-					pol[idx] = polAdaptive
-				}
-			}
+		ctx := policy.SiteCtx{
+			GuestPC:      instPC,
+			KnownMDA:     b.knownMDA[idx],
+			StaticMarked: e.Opt.StaticSites[instPC],
 		}
-		// Static alignment layer: a decisive whole-instruction verdict
-		// overrides the base mechanism — proven-aligned sites run plain
-		// with no trap hook or adaptive bookkeeping, proven-misaligned
-		// sites inline the MDA sequence with zero first-trap cost. Unknown
-		// (and mixed-stream) sites keep the base mechanism's decision;
-		// memAccessSub further refines per access stream.
+		if s := e.dec.profAt(instPC); s != nil {
+			ctx.ProfMDA, ctx.ProfAligned = s.mda, s.aligned
+		}
+		if rv := e.reverted[b.guestPC]; rv != nil && rv[idx] {
+			ctx.Reverted = true
+		}
 		if e.Opt.StaticAlign {
-			v := e.alignDB.InstVerdict(instPC, in.Op)
-			b.averdict[idx] = v
-			switch v {
+			// Whole-instruction verdicts feed the StaticAlign decorator;
+			// the engine records them for dumps/verifier and the stats.
+			// Unknown (and mixed-stream) sites keep the base mechanism's
+			// decision; memAccessSub further refines per access stream.
+			ctx.AlignVerdict = e.alignDB.InstVerdict(instPC, in.Op)
+			b.averdict[idx] = ctx.AlignVerdict
+			switch ctx.AlignVerdict {
 			case align.Aligned:
-				pol[idx] = polPlain
-				delete(b.mixed, idx)
 				e.stats.StaticAlignedSites++
 			case align.Misaligned:
-				pol[idx] = polSeq
-				delete(b.mixed, idx)
 				e.stats.StaticMisalignedSites++
 			default:
 				e.stats.StaticUnknownSites++
 			}
+		}
+		p := fromPolicy(e.mech.SitePolicy(ctx))
+		pol[idx] = p
+		if p == polMixed {
+			b.mixed[idx] = true
 		}
 	}
 	return pol, len(b.mixed) > 0
@@ -884,7 +865,7 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 	}
 	edges := map[int]traceEdge{}
 	nblocks := 1
-	if e.Opt.Superblocks && e.Opt.usesProfilingPhase() {
+	if e.Opt.Superblocks && e.profiled {
 		insts, lens, pcs, edges, nblocks, err = e.formTrace(pc, insts, lens, pcs)
 		if err != nil {
 			return nil, err

@@ -154,6 +154,7 @@ func Registry() []struct {
 		{"ablation-superblocks", SuperblockAblation},
 		{"staticalign", StaticAlignStudy},
 		{"sitehist", SiteHistogram},
+		{"speh", SPEHStudy},
 	}
 }
 

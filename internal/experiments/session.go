@@ -12,12 +12,17 @@ import (
 	"mdabt/internal/core"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
+	"mdabt/internal/policy"
 	"mdabt/internal/workload"
 )
 
-// Config names one translator configuration under test.
+// Config names one translator configuration under test. The mechanism is
+// selected either by the Mech constant or — taking precedence when set —
+// by Policy, a policy-registry name, so experiments can address
+// registry-only mechanisms without new core constants.
 type Config struct {
 	Mech         core.Mechanism
+	Policy       string // registry name/alias; overrides Mech when non-empty
 	Threshold    uint64 // heating threshold; 0 selects the mechanism default
 	Rearrange    bool
 	Retranslate  bool
@@ -30,13 +35,28 @@ type Config struct {
 	StaticAlign  bool // static alignment analysis layer (PR 3)
 }
 
+// mechanism resolves the configured mechanism ID (Policy wins over Mech).
+func (c Config) mechanism() (core.Mechanism, error) {
+	if c.Policy == "" {
+		return c.Mech, nil
+	}
+	m, ok := core.MechanismByName(c.Policy)
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown mechanism policy %q", c.Policy)
+	}
+	return m, nil
+}
+
 func (c Config) key() string {
-	return fmt.Sprintf("%d/%d/%v%v%v%v%v%v%v%v%v", c.Mech, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks, c.StaticAlign)
+	return fmt.Sprintf("%d/%s/%d/%v%v%v%v%v%v%v%v%v", c.Mech, c.Policy, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks, c.StaticAlign)
 }
 
 // String names the configuration for reports.
 func (c Config) String() string {
 	s := c.Mech.String()
+	if m, err := c.mechanism(); err == nil {
+		s = m.String()
+	}
 	if c.Threshold != 0 {
 		s += fmt.Sprintf("(th=%d)", c.Threshold)
 	}
@@ -232,7 +252,11 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	opt := core.DefaultOptions(cfg.Mech)
+	mech, err := cfg.mechanism()
+	if err != nil {
+		return RunResult{}, err
+	}
+	opt := core.DefaultOptions(mech)
 	if cfg.Threshold != 0 {
 		opt.HeatThreshold = cfg.Threshold
 	}
@@ -245,11 +269,14 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	opt.IBTC = cfg.IBTC
 	opt.Superblocks = cfg.Superblocks
 	opt.StaticAlign = cfg.StaticAlign
-	if cfg.Mech == core.StaticProfile {
+	if pm, ok := policy.ByID(int(mech)); ok && pm.UsesStaticProfile() {
 		opt.StaticSites, err = s.trainSites(name)
 		if err != nil {
 			return RunResult{}, err
 		}
+	}
+	if err := opt.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("experiments: %s under %v: %w", name, cfg, err)
 	}
 	m := mem.New()
 	p.Load(m, workload.Ref)

@@ -1,0 +1,121 @@
+package policy
+
+import "mdabt/internal/align"
+
+// The §IV extensions are decorators: each wraps any base mechanism and
+// refines one hook, so multi-version, adaptive sites, retranslation,
+// rearrangement, and the static alignment layer compose over any strategy
+// instead of being mechanism-private special cases. internal/core applies
+// them from Options knobs (capability-gated: profile-driven decorators
+// need a two-phase patching base, trap-driven ones a patching base);
+// out-of-tree mechanisms get them for free.
+//
+// Wrap order matters for the trap hooks: WithRearrange must wrap
+// WithRetranslate so a block over the retranslation threshold is
+// retranslated, not rearranged (the engine's historical priority).
+
+// multiVersion layers §IV-D two-shape code: a profiled site that was
+// misaligned only part of the time gets a guarded plain/sequence pair
+// instead of the pessimistic sequence.
+type multiVersion struct {
+	Mechanism
+	min, max float64
+}
+
+// WithMultiVersion decorates base with mixed-site classification: a site
+// the base would emit as a sequence, whose observed misalignment ratio
+// lies in [min, max], becomes Mixed. Requires interpretation profiles, so
+// it only bites over two-phase bases.
+func WithMultiVersion(base Mechanism, min, max float64) Mechanism {
+	return multiVersion{Mechanism: base, min: min, max: max}
+}
+
+func (m multiVersion) SitePolicy(c SiteCtx) SitePolicy {
+	p := m.Mechanism.SitePolicy(c)
+	if p == Seq && c.ProfMDA > 0 && c.ProfAligned > 0 {
+		if r := c.MixedRatio(); r >= m.min && r <= m.max {
+			return Mixed
+		}
+	}
+	return p
+}
+
+// adaptive layers §IV-D truly-adaptive sites: sequence sites get
+// aligned-streak instrumentation, and sites the monitor reverted go back
+// to plain operations.
+type adaptive struct{ Mechanism }
+
+// WithAdaptive decorates base with the adaptive-site refinement.
+func WithAdaptive(base Mechanism) Mechanism { return adaptive{base} }
+
+func (a adaptive) SitePolicy(c SiteCtx) SitePolicy {
+	p := a.Mechanism.SitePolicy(c)
+	if c.Reverted {
+		// The monitor decided this site realigned; reversion wins over
+		// every other shape, including Mixed.
+		return Plain
+	}
+	if p == Seq {
+		return Adaptive
+	}
+	return p
+}
+
+// retranslate layers §IV-C block retranslation: once a block has taken
+// `threshold` traps, its translation is discarded and profiling restarts.
+type retranslate struct {
+	Mechanism
+	threshold int
+}
+
+// WithRetranslate decorates base with the retranslation policy. It only
+// changes behaviour over patching bases: a Fixup base action passes
+// through untouched.
+func WithRetranslate(base Mechanism, threshold int) Mechanism {
+	return retranslate{Mechanism: base, threshold: threshold}
+}
+
+func (r retranslate) OnMisalignTrap(c TrapCtx) Action {
+	act := r.Mechanism.OnMisalignTrap(c)
+	if act == Patch && c.BlockTraps >= r.threshold {
+		return Retranslate
+	}
+	return act
+}
+
+// rearrange layers §IV-A code rearrangement: instead of patching a branch
+// to a distant stub, the block is retranslated in place with the sequence
+// inline.
+type rearrange struct{ Mechanism }
+
+// WithRearrange decorates base with the rearrangement policy.
+func WithRearrange(base Mechanism) Mechanism { return rearrange{base} }
+
+func (r rearrange) OnMisalignTrap(c TrapCtx) Action {
+	act := r.Mechanism.OnMisalignTrap(c)
+	if act == Patch {
+		return Rearrange
+	}
+	return act
+}
+
+// staticAlign layers the whole-program alignment analysis: a decisive
+// verdict overrides the base site policy — proven-aligned sites run plain
+// with no trap hook or adaptive bookkeeping, proven-misaligned sites
+// inline the sequence with zero first-trap cost. Unknown verdicts keep the
+// base decision.
+type staticAlign struct{ Mechanism }
+
+// WithStaticAlign decorates base with verdict overrides. Apply it
+// outermost: the analysis outranks every profile- and trap-driven shape.
+func WithStaticAlign(base Mechanism) Mechanism { return staticAlign{base} }
+
+func (s staticAlign) SitePolicy(c SiteCtx) SitePolicy {
+	switch c.AlignVerdict {
+	case align.Aligned:
+		return Plain
+	case align.Misaligned:
+		return Seq
+	}
+	return s.Mechanism.SitePolicy(c)
+}

@@ -1,0 +1,13 @@
+package policy
+
+// direct is the QEMU-style mechanism (§III-A): every non-byte memory
+// operation is translated into the MDA code sequence, so no translated
+// access can ever trap. Simple, and the paper's Figure 16 baseline for how
+// expensive that simplicity is (~2.2x).
+type direct struct{ Base }
+
+func (direct) Name() string { return "direct" }
+
+func (direct) SitePolicy(SiteCtx) SitePolicy { return Seq }
+
+func (direct) OnMisalignTrap(TrapCtx) Action { return Fixup }

@@ -1,0 +1,24 @@
+package policy
+
+// dpeh combines low-threshold dynamic profiling with the exception handler
+// (§IV-B): the short interpretation window catches the common always-MDA
+// sites cheaply, and the handler patches whatever the window missed —
+// including late-onset sites. The paper's overall winner (Fig. 16,
+// geomean ~0.97 of EH alone).
+type dpeh struct{ Base }
+
+func (dpeh) Name() string { return "dpeh" }
+
+func (dpeh) SitePolicy(c SiteCtx) SitePolicy {
+	if c.KnownMDA || c.ProfMDA > 0 {
+		return Seq
+	}
+	return Plain
+}
+
+func (dpeh) OnMisalignTrap(TrapCtx) Action { return Patch }
+
+func (dpeh) WantsInterpProfiling() bool { return true }
+
+// HeatThreshold is the "relatively low threshold" of §IV-B.
+func (dpeh) HeatThreshold() uint64 { return 10 }

@@ -1,0 +1,21 @@
+package policy
+
+// dynamicProfile is the IA-32 EL-style mechanism (§III-C): blocks are
+// interpreted with MDA instrumentation until the heating threshold, then
+// sites that misaligned during profiling get the sequence. Sites whose
+// misalignment starts after the profiling window trap to the OS fixup
+// forever — the late-onset failure mode (Table III) DPEH exists to fix.
+type dynamicProfile struct{ Base }
+
+func (dynamicProfile) Name() string { return "dynamic-profile" }
+
+func (dynamicProfile) SitePolicy(c SiteCtx) SitePolicy {
+	if c.KnownMDA || c.ProfMDA > 0 {
+		return Seq
+	}
+	return Plain
+}
+
+func (dynamicProfile) OnMisalignTrap(TrapCtx) Action { return Fixup }
+
+func (dynamicProfile) WantsInterpProfiling() bool { return true }

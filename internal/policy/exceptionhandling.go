@@ -1,0 +1,19 @@
+package policy
+
+// exceptionHandling is the paper's proposed mechanism (§IV, Fig. 5):
+// translate every site as a plain memory operation and let the BT's
+// misalignment handler patch a faulting operation into a branch to a
+// freshly emitted MDA stub on its first trap. Trap-discovered sites
+// (KnownMDA) inline the sequence on retranslation.
+type exceptionHandling struct{ Base }
+
+func (exceptionHandling) Name() string { return "exception-handling" }
+
+func (exceptionHandling) SitePolicy(c SiteCtx) SitePolicy {
+	if c.KnownMDA {
+		return Seq
+	}
+	return Plain
+}
+
+func (exceptionHandling) OnMisalignTrap(TrapCtx) Action { return Patch }

@@ -1,0 +1,268 @@
+package policy
+
+import (
+	"testing"
+
+	"mdabt/internal/align"
+)
+
+// mustByName resolves a registered mechanism for fixtures.
+func mustByName(t *testing.T, name string) Mechanism {
+	t.Helper()
+	id, ok := ID(name)
+	if !ok {
+		t.Fatalf("mechanism %q not registered", name)
+	}
+	m, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no constructor for id %d", id)
+	}
+	return m
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	// The five paper mechanisms must occupy IDs 0..4 in core.Mechanism
+	// constant order, SPEH ID 5 — the compat shim depends on it.
+	want := []string{"direct", "static-profile", "dynamic-profile", "exception-handling", "dpeh", "speh"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("only %d registered mechanisms: %v", len(got), got)
+	}
+	for i, n := range want {
+		if got[i] != n {
+			t.Errorf("id %d = %q, want %q", i, got[i], n)
+		}
+		id, ok := ID(n)
+		if !ok || id != i {
+			t.Errorf("ID(%q) = %d,%v, want %d,true", n, id, ok, i)
+		}
+		m, ok := ByID(i)
+		if !ok || m.Name() != n {
+			t.Errorf("ByID(%d).Name() = %q, want %q", i, m.Name(), n)
+		}
+	}
+	for alias, canon := range map[string]string{"static": "static-profile", "dynprof": "dynamic-profile", "eh": "exception-handling"} {
+		ai, aok := ID(alias)
+		ci, _ := ID(canon)
+		if !aok || ai != ci {
+			t.Errorf("alias %q resolves to %d, want %d (%s)", alias, ai, ci, canon)
+		}
+	}
+	if _, ok := ID("mechanism?"); ok {
+		t.Error("bogus name resolved")
+	}
+	if _, ok := ByID(len(Names())); ok {
+		t.Error("out-of-range id resolved")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Entry{Name: "direct", New: func() Mechanism { return direct{} }})
+}
+
+// The fixture sites: everything SitePolicy decisions can hinge on.
+var (
+	freshSite    = SiteCtx{GuestPC: 0x1000}
+	markedSite   = SiteCtx{GuestPC: 0x1000, StaticMarked: true}
+	knownSite    = SiteCtx{GuestPC: 0x1000, KnownMDA: true}
+	profiledMDA  = SiteCtx{GuestPC: 0x1000, ProfMDA: 7}
+	mixedProfile = SiteCtx{GuestPC: 0x1000, ProfMDA: 5, ProfAligned: 5}
+	alignedOnly  = SiteCtx{GuestPC: 0x1000, ProfAligned: 9}
+)
+
+func TestStrategySitePolicies(t *testing.T) {
+	cases := []struct {
+		mech string
+		site SiteCtx
+		want SitePolicy
+	}{
+		{"direct", freshSite, Seq},
+		{"direct", alignedOnly, Seq},
+
+		{"static-profile", freshSite, Plain},
+		{"static-profile", markedSite, Seq},
+		{"static-profile", knownSite, Plain}, // no handler: trap history is irrelevant
+		{"static-profile", profiledMDA, Plain},
+
+		{"dynamic-profile", freshSite, Plain},
+		{"dynamic-profile", profiledMDA, Seq},
+		{"dynamic-profile", mixedProfile, Seq},
+		{"dynamic-profile", alignedOnly, Plain},
+		{"dynamic-profile", knownSite, Seq},
+		{"dynamic-profile", markedSite, Plain},
+
+		{"exception-handling", freshSite, Plain},
+		{"exception-handling", knownSite, Seq},
+		{"exception-handling", profiledMDA, Plain}, // single-phase: no profile to consume
+		{"exception-handling", markedSite, Plain},
+
+		{"dpeh", freshSite, Plain},
+		{"dpeh", profiledMDA, Seq},
+		{"dpeh", knownSite, Seq},
+		{"dpeh", markedSite, Plain},
+
+		{"speh", freshSite, Plain},
+		{"speh", markedSite, Seq},
+		{"speh", knownSite, Seq},
+		{"speh", profiledMDA, Plain}, // single-phase: no interp profile exists
+	}
+	for _, c := range cases {
+		if got := mustByName(t, c.mech).SitePolicy(c.site); got != c.want {
+			t.Errorf("%s.SitePolicy(%+v) = %v, want %v", c.mech, c.site, got, c.want)
+		}
+	}
+}
+
+func TestStrategyTrapActions(t *testing.T) {
+	trap := TrapCtx{GuestPC: 0x1000, BlockPC: 0x0ff0, BlockTraps: 3}
+	for mech, want := range map[string]Action{
+		"direct":             Fixup,
+		"static-profile":     Fixup,
+		"dynamic-profile":    Fixup,
+		"exception-handling": Patch,
+		"dpeh":               Patch,
+		"speh":               Patch,
+	} {
+		if got := mustByName(t, mech).OnMisalignTrap(trap); got != want {
+			t.Errorf("%s.OnMisalignTrap = %v, want %v", mech, got, want)
+		}
+		if patches := Patches(mustByName(t, mech)); patches != (want != Fixup) {
+			t.Errorf("Patches(%s) = %v", mech, patches)
+		}
+	}
+}
+
+func TestStrategyCapabilities(t *testing.T) {
+	cases := []struct {
+		mech           string
+		profiled       bool
+		heat           uint64
+		usesStaticProf bool
+	}{
+		{"direct", false, 50, false},
+		{"static-profile", false, 50, true},
+		{"dynamic-profile", true, 50, false},
+		{"exception-handling", false, 50, false},
+		{"dpeh", true, 10, false},
+		{"speh", false, 50, true},
+	}
+	for _, c := range cases {
+		m := mustByName(t, c.mech)
+		if m.WantsInterpProfiling() != c.profiled {
+			t.Errorf("%s.WantsInterpProfiling = %v", c.mech, m.WantsInterpProfiling())
+		}
+		if m.HeatThreshold() != c.heat {
+			t.Errorf("%s.HeatThreshold = %d, want %d", c.mech, m.HeatThreshold(), c.heat)
+		}
+		if m.UsesStaticProfile() != c.usesStaticProf {
+			t.Errorf("%s.UsesStaticProfile = %v", c.mech, m.UsesStaticProfile())
+		}
+	}
+}
+
+func TestMultiVersionDecorator(t *testing.T) {
+	m := WithMultiVersion(mustByName(t, "dpeh"), 0.05, 0.95)
+	cases := []struct {
+		site SiteCtx
+		want SitePolicy
+	}{
+		{mixedProfile, Mixed},                          // ratio 0.5, inside the band
+		{profiledMDA, Seq},                             // never aligned: pessimistic sequence
+		{SiteCtx{ProfMDA: 99, ProfAligned: 1}, Seq},    // ratio 0.99 above MixedSiteMax
+		{SiteCtx{ProfMDA: 1, ProfAligned: 99}, Seq},    // ratio 0.01 below MixedSiteMin keeps the sequence
+		{SiteCtx{KnownMDA: true, ProfAligned: 9}, Seq}, // trap-known, no profile MDA: never mixed
+		{freshSite, Plain},
+	}
+	for _, c := range cases {
+		if got := m.SitePolicy(c.site); got != c.want {
+			t.Errorf("mv.SitePolicy(%+v) = %v, want %v", c.site, got, c.want)
+		}
+	}
+	// The decorator must not alter trap behaviour or capabilities.
+	if m.OnMisalignTrap(TrapCtx{}) != Patch || !m.WantsInterpProfiling() {
+		t.Error("multi-version decorator leaked into unrelated hooks")
+	}
+}
+
+func TestAdaptiveDecorator(t *testing.T) {
+	m := WithAdaptive(WithMultiVersion(mustByName(t, "dpeh"), 0.05, 0.95))
+	if got := m.SitePolicy(profiledMDA); got != Adaptive {
+		t.Errorf("sequence site = %v, want Adaptive", got)
+	}
+	if got := m.SitePolicy(mixedProfile); got != Mixed {
+		t.Errorf("mixed site = %v, want Mixed (adaptive leaves it)", got)
+	}
+	rev := mixedProfile
+	rev.Reverted = true
+	if got := m.SitePolicy(rev); got != Plain {
+		t.Errorf("reverted site = %v, want Plain (reversion outranks Mixed)", got)
+	}
+	if got := m.SitePolicy(freshSite); got != Plain {
+		t.Errorf("fresh site = %v, want Plain", got)
+	}
+}
+
+func TestRetranslateDecorator(t *testing.T) {
+	m := WithRetranslate(mustByName(t, "dpeh"), 4)
+	if got := m.OnMisalignTrap(TrapCtx{BlockTraps: 3}); got != Patch {
+		t.Errorf("below threshold = %v, want Patch", got)
+	}
+	if got := m.OnMisalignTrap(TrapCtx{BlockTraps: 4}); got != Retranslate {
+		t.Errorf("at threshold = %v, want Retranslate", got)
+	}
+	// Over a Fixup base the decorator is inert (and the Patches probe
+	// still reports non-patching).
+	f := WithRetranslate(mustByName(t, "dynamic-profile"), 1)
+	if got := f.OnMisalignTrap(TrapCtx{BlockTraps: 9}); got != Fixup {
+		t.Errorf("fixup base = %v, want Fixup", got)
+	}
+	if Patches(f) {
+		t.Error("Patches(true) over a fixup base")
+	}
+}
+
+func TestRearrangeDecorator(t *testing.T) {
+	m := WithRearrange(mustByName(t, "exception-handling"))
+	if got := m.OnMisalignTrap(TrapCtx{BlockTraps: 1}); got != Rearrange {
+		t.Errorf("= %v, want Rearrange", got)
+	}
+	// Retranslation beats rearrangement: WithRearrange(WithRetranslate(…)).
+	rr := WithRearrange(WithRetranslate(mustByName(t, "dpeh"), 2))
+	if got := rr.OnMisalignTrap(TrapCtx{BlockTraps: 1}); got != Rearrange {
+		t.Errorf("below retrans threshold = %v, want Rearrange", got)
+	}
+	if got := rr.OnMisalignTrap(TrapCtx{BlockTraps: 2}); got != Retranslate {
+		t.Errorf("at retrans threshold = %v, want Retranslate", got)
+	}
+}
+
+func TestStaticAlignDecorator(t *testing.T) {
+	m := WithStaticAlign(mustByName(t, "direct"))
+	if got := m.SitePolicy(SiteCtx{AlignVerdict: align.Aligned}); got != Plain {
+		t.Errorf("proven-aligned = %v, want Plain override", got)
+	}
+	if got := m.SitePolicy(SiteCtx{AlignVerdict: align.Misaligned}); got != Seq {
+		t.Errorf("proven-misaligned = %v, want Seq", got)
+	}
+	if got := m.SitePolicy(SiteCtx{AlignVerdict: align.Unknown}); got != Seq {
+		t.Errorf("unknown verdict = %v, want the base decision (Seq under direct)", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for p, want := range map[SitePolicy]string{Plain: "plain", Seq: "seq", Mixed: "mixed", Adaptive: "adaptive", SitePolicy(99): "policy?"} {
+		if p.String() != want {
+			t.Errorf("SitePolicy(%d).String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	for a, want := range map[Action]string{Fixup: "fixup", Patch: "patch", Retranslate: "retranslate", Rearrange: "rearrange", Action(99): "action?"} {
+		if a.String() != want {
+			t.Errorf("Action(%d).String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry describes one registered mechanism.
+type Entry struct {
+	// Name is the canonical registry key (also Mechanism.Name()).
+	Name string
+	// Aliases are accepted alternative spellings for CLI flags.
+	Aliases []string
+	// Summary is a one-line description for CLI help and docs.
+	Summary string
+	// New constructs a fresh strategy instance.
+	New func() Mechanism
+}
+
+var (
+	entries []Entry
+	byName  = make(map[string]int)
+)
+
+// Register adds a mechanism to the registry and returns its stable ID (the
+// registration index — the five paper mechanisms occupy 0..4 in
+// core.Mechanism constant order, SPEH is 5). It panics on a duplicate or
+// empty name: registration is a program-integrity step, not a runtime
+// condition.
+func Register(e Entry) int {
+	if e.Name == "" || e.New == nil {
+		panic("policy: Register needs a name and a constructor")
+	}
+	for _, n := range append([]string{e.Name}, e.Aliases...) {
+		if _, dup := byName[n]; dup {
+			panic(fmt.Sprintf("policy: duplicate mechanism name %q", n))
+		}
+	}
+	id := len(entries)
+	entries = append(entries, e)
+	byName[e.Name] = id
+	for _, a := range e.Aliases {
+		byName[a] = id
+	}
+	return id
+}
+
+// ByID constructs a fresh instance of the mechanism with the given ID.
+func ByID(id int) (Mechanism, bool) {
+	if id < 0 || id >= len(entries) {
+		return nil, false
+	}
+	return entries[id].New(), true
+}
+
+// ID resolves a canonical name or alias to the mechanism ID.
+func ID(name string) (int, bool) {
+	id, ok := byName[name]
+	return id, ok
+}
+
+// NameOf returns the canonical name for an ID.
+func NameOf(id int) (string, bool) {
+	if id < 0 || id >= len(entries) {
+		return "", false
+	}
+	return entries[id].Name, true
+}
+
+// Names returns the canonical mechanism names in registration order.
+func Names() []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// AllNames returns every accepted spelling (canonical names and aliases),
+// sorted, for CLI error messages.
+func AllNames() []string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns a copy of the registry in registration order.
+func Entries() []Entry {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	return out
+}
+
+// The built-in mechanisms register here, in one init so their IDs are
+// fixed by this list alone (per-file init order would depend on file
+// names): IDs 0..4 mirror the historical core.Mechanism constants, 5 is
+// the SPEH hybrid this seam was built to host.
+func init() {
+	Register(Entry{
+		Name:    "direct",
+		Summary: "every non-byte access becomes the MDA sequence (QEMU-style, §III-A)",
+		New:     func() Mechanism { return direct{} },
+	})
+	Register(Entry{
+		Name:    "static-profile",
+		Aliases: []string{"static"},
+		Summary: "train-input-profiled sites get the sequence (FX!32-style, §III-B)",
+		New:     func() Mechanism { return staticProfile{} },
+	})
+	Register(Entry{
+		Name:    "dynamic-profile",
+		Aliases: []string{"dynprof"},
+		Summary: "interpret-first profiling picks sequence sites (IA-32 EL-style, §III-C)",
+		New:     func() Mechanism { return dynamicProfile{} },
+	})
+	Register(Entry{
+		Name:    "exception-handling",
+		Aliases: []string{"eh"},
+		Summary: "translate plain; trap-and-patch sites on first misalignment (§IV)",
+		New:     func() Mechanism { return exceptionHandling{} },
+	})
+	Register(Entry{
+		Name:    "dpeh",
+		Summary: "low-threshold dynamic profiling plus exception handling (§IV-B)",
+		New:     func() Mechanism { return dpeh{} },
+	})
+	Register(Entry{
+		Name:    "speh",
+		Summary: "static profiling plus exception handling: train-marked sites eager, late sites trap-and-patch",
+		New:     func() Mechanism { return speh{} },
+	})
+}

@@ -1,0 +1,23 @@
+package policy
+
+// speh is the composite the paper implies but never measures: static
+// profiling plus exception handling. Sites the train input marked get the
+// MDA sequence eagerly (zero first-trap cost, like StaticProfile); sites
+// the train input missed — the ref-input surprises that cripple FX!32 on
+// 252.eon/450.soplex — are caught by the trap-and-patch handler instead of
+// trapping forever. Single-phase: no interpretation window, so startup is
+// as cheap as plain EH.
+type speh struct{ Base }
+
+func (speh) Name() string { return "speh" }
+
+func (speh) SitePolicy(c SiteCtx) SitePolicy {
+	if c.StaticMarked || c.KnownMDA {
+		return Seq
+	}
+	return Plain
+}
+
+func (speh) OnMisalignTrap(TrapCtx) Action { return Patch }
+
+func (speh) UsesStaticProfile() bool { return true }

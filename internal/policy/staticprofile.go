@@ -1,0 +1,21 @@
+package policy
+
+// staticProfile is the FX!32-style mechanism (§III-B): a prior train-input
+// run produced a profile database, and sites it marked as misaligning get
+// the MDA sequence. Sites the train input never misaligned trap to the OS
+// fixup on every ref-input occurrence — the mechanism's Achilles heel the
+// paper quantifies (252.eon +91%, 450.soplex +155%).
+type staticProfile struct{ Base }
+
+func (staticProfile) Name() string { return "static-profile" }
+
+func (staticProfile) SitePolicy(c SiteCtx) SitePolicy {
+	if c.StaticMarked {
+		return Seq
+	}
+	return Plain
+}
+
+func (staticProfile) OnMisalignTrap(TrapCtx) Action { return Fixup }
+
+func (staticProfile) UsesStaticProfile() bool { return true }

@@ -17,9 +17,12 @@
 //   - internal/machine — the simulated host processor: cycle accounting,
 //     ES40 cache hierarchy, misalignment traps, code patching.
 //   - internal/core — the translator: two-phase interpretation and
-//     translation, code cache, block linking, and the MDA mechanisms
-//     (Direct, StaticProfile, DynamicProfile, ExceptionHandling, DPEH with
-//     rearrangement/retranslation/multi-version options).
+//     translation, code cache, block linking, and the glue that drives the
+//     configured MDA mechanism.
+//   - internal/policy — the pluggable MDA mechanism layer: a registry of
+//     strategy objects (Direct, StaticProfile, DynamicProfile,
+//     ExceptionHandling, DPEH, SPEH) plus the rearrangement/retranslation/
+//     multi-version/adaptive/static-align decorators.
 //   - internal/workload — 54 SPEC CPU2000/2006 benchmark models dialed to
 //     the paper's Table I/III/IV and Figure 15 measurements.
 //   - internal/experiments — one runner per paper table/figure.
@@ -52,14 +55,25 @@ import (
 // Mechanism selects an MDA handling mechanism.
 type Mechanism = core.Mechanism
 
-// The five mechanisms of the paper's evaluation.
+// The five mechanisms of the paper's evaluation, plus the SPEH hybrid
+// (static profiling + exception handling) registered through the policy
+// layer.
 const (
 	Direct            = core.Direct
 	StaticProfile     = core.StaticProfile
 	DynamicProfile    = core.DynamicProfile
 	ExceptionHandling = core.ExceptionHandling
 	DPEH              = core.DPEH
+	SPEH              = core.SPEH
 )
+
+// MechanismByName resolves a policy-registry mechanism name or alias
+// ("direct", "eh", "dpeh", "speh", ...), including mechanisms registered
+// outside this module.
+func MechanismByName(name string) (Mechanism, bool) { return core.MechanismByName(name) }
+
+// Mechanisms lists every registered mechanism in registry (ID) order.
+func Mechanisms() []Mechanism { return core.Mechanisms() }
 
 // Options configures the translator (see core.Options).
 type Options = core.Options
