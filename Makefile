@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_COUNT ?= 10
 
-.PHONY: all build test race bench bench-smoke bench-json fmt vet mech-smoke
+.PHONY: all build test race bench bench-smoke bench-json fmt vet mech-smoke serve-chaos
 
 all: build test
 
@@ -24,6 +24,13 @@ bench:
 # One iteration per benchmark across the repo — the CI smoke job.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Pool chaos suite under the race detector: ≥8 concurrent sessions with
+# faults firing at every injection point, results checked bit-identical
+# against serial replays (fixed seed; see internal/serve/chaos_test.go).
+serve-chaos:
+	$(GO) test -race -short -v ./internal/serve
+	$(GO) test -race -short ./cmd/dbtserve
 
 # One experiment run per registered mechanism (policy registry) — the CI
 # mechanism-smoke job.

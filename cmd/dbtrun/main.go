@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 	bench := flag.String("bench", "", "run a built-in benchmark model instead of a file")
 	input := flag.String("input", "ref", "benchmark input set: train or ref")
 	budget := flag.Uint64("budget", 4_000_000_000, "host-instruction budget")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the run (0 = none)")
 	dump := flag.Bool("dump", false, "disassemble every translated block after the run")
 	events := flag.Int("events", 0, "print the last N translator events")
 	ibtc := flag.Bool("ibtc", false, "enable the indirect-branch translation cache")
@@ -171,8 +173,14 @@ func main() {
 	if *events > 0 {
 		eng.EnableEventLog()
 	}
-	if err := eng.Run(entry, *budget); err != nil {
-		stopProfiles() // a budget-exhausted run is still worth profiling
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	if err := eng.RunContext(ctx, entry, *budget); err != nil {
+		stopProfiles() // a budget- or deadline-exhausted run is still worth profiling
 		fail("run: %v", err)
 	}
 

@@ -1,0 +1,301 @@
+// Command dbtserve exposes the DBT engine pool over HTTP: many guest
+// programs run concurrently on a fixed set of reusable engines, with
+// per-request deadlines, retry on transient faults, per-program circuit
+// breaking, and graceful drain on shutdown.
+//
+// Usage:
+//
+//	dbtserve -addr :8437 -workers 8 -mech eh
+//
+// Endpoints:
+//
+//	POST /run     — execute a guest program; JSON body:
+//	                  {"asm": "<guest assembly>"}         assemble and run, or
+//	                  {"bench": "164.gzip", "input":"ref"} run a benchmark model
+//	                optional fields: "mech" (policy name), "budget",
+//	                "deadline_ms", "threshold".
+//	GET  /healthz — pool health snapshot (503 while draining).
+//
+// SIGINT/SIGTERM drains in-flight requests (bounded) before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"mdabt/internal/core"
+	"mdabt/internal/faultinject"
+	"mdabt/internal/guest"
+	"mdabt/internal/guestasm"
+	"mdabt/internal/mem"
+	"mdabt/internal/policy"
+	"mdabt/internal/serve"
+	"mdabt/internal/workload"
+)
+
+// runRequest is the POST /run body.
+type runRequest struct {
+	Asm        string `json:"asm,omitempty"`
+	Bench      string `json:"bench,omitempty"`
+	Input      string `json:"input,omitempty"` // "train" or "ref" (default)
+	Mech       string `json:"mech,omitempty"`
+	Threshold  uint64 `json:"threshold,omitempty"`
+	Budget     uint64 `json:"budget,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// runResponse is the POST /run success body.
+type runResponse struct {
+	Program       string    `json:"program"`
+	Mechanism     string    `json:"mechanism"`
+	Cycles        uint64    `json:"cycles"`
+	HostInsts     uint64    `json:"host_insts"`
+	MisalignTraps uint64    `json:"misalign_traps"`
+	Translated    uint64    `json:"translated_blocks"`
+	Interpreted   uint64    `json:"interpreted_insts"`
+	CodeBytes     uint64    `json:"code_cache_bytes"`
+	EAX           uint32    `json:"eax"`
+	Attempts      int       `json:"attempts"`
+	Worker        int       `json:"worker"`
+	ElapsedMS     float64   `json:"elapsed_ms"`
+	Regs          [8]uint32 `json:"regs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// app binds the HTTP handlers to one serving pool.
+type app struct {
+	srv      *serve.Server
+	mech     core.Mechanism
+	deadline time.Duration
+
+	mu    sync.Mutex
+	progs map[string]*workload.Program // benchmark model cache
+}
+
+func newApp(srv *serve.Server, mech core.Mechanism, deadline time.Duration) *app {
+	return &app{srv: srv, mech: mech, deadline: deadline, progs: make(map[string]*workload.Program)}
+}
+
+// mux returns the HTTP routing table (shared by main and the tests).
+func (a *app) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/run", a.handleRun)
+	m.HandleFunc("/healthz", a.handleHealth)
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errStatus maps the error taxonomy onto HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrCircuitOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case core.IsInternal(err):
+		return http.StatusInternalServerError
+	case core.IsTransient(err):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest // Permanent: the request's own fault
+	}
+}
+
+func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var body runRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error(), Class: "permanent"})
+		return
+	}
+
+	mech := a.mech
+	if body.Mech != "" {
+		m, ok := core.MechanismByName(body.Mech)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("unknown mechanism %q (have %s)", body.Mech, strings.Join(policy.AllNames(), ", ")),
+				Class: "permanent",
+			})
+			return
+		}
+		mech = m
+	}
+	opt := core.DefaultOptions(mech)
+	if body.Threshold != 0 {
+		opt.HeatThreshold = body.Threshold
+	}
+
+	req := serve.Request{Options: &opt, Budget: body.Budget, Timeout: a.deadline}
+	if body.DeadlineMS > 0 {
+		req.Timeout = time.Duration(body.DeadlineMS) * time.Millisecond
+	}
+	var name string
+	switch {
+	case body.Asm != "" && body.Bench != "":
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give either asm or bench, not both", Class: "permanent"})
+		return
+	case body.Asm != "":
+		img, err := guestasm.Assemble(body.Asm, guest.CodeBase)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Class: "permanent"})
+			return
+		}
+		name = "asm"
+		req.Image = img
+	case body.Bench != "":
+		prog, err := a.program(body.Bench)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Class: "permanent"})
+			return
+		}
+		in := workload.Ref
+		if body.Input == "train" {
+			in = workload.Train
+		}
+		name = body.Bench
+		req.Key = body.Bench
+		req.Load = func(m *mem.Memory) uint32 { prog.Load(m, in); return prog.Entry() }
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "need asm or bench", Class: "permanent"})
+		return
+	}
+
+	start := time.Now()
+	res, err := a.srv.Do(r.Context(), req)
+	if err != nil {
+		writeJSON(w, errStatus(err), errorResponse{Error: err.Error(), Class: core.Classify(err).String()})
+		return
+	}
+	resp := runResponse{
+		Program:       name,
+		Mechanism:     opt.Mechanism.String(),
+		Cycles:        res.Counters.Cycles,
+		HostInsts:     res.Counters.Insts,
+		MisalignTraps: res.Counters.MisalignTraps,
+		Translated:    res.Stats.BlocksTranslated,
+		Interpreted:   res.Stats.InterpretedInsts,
+		CodeBytes:     res.CodeUsed,
+		EAX:           res.CPU.R[guest.EAX],
+		Attempts:      res.Attempts,
+		Worker:        res.Worker,
+		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i := range resp.Regs {
+		resp.Regs[i] = res.CPU.R[guest.Reg(i)]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *app) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := a.srv.Health()
+	status := http.StatusOK
+	if h.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// program returns the (cached) benchmark model.
+func (a *app) program(name string) (*workload.Program, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p, ok := a.progs[name]; ok {
+		return p, nil
+	}
+	spec, ok := workload.SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", name)
+	}
+	p, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	a.progs[name] = p
+	return p, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8437", "listen address")
+	workers := flag.Int("workers", 0, "engine pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue bound (0 = 2×workers)")
+	retries := flag.Int("retries", 2, "retries on transient failures (-1 disables)")
+	budget := flag.Uint64("budget", 4_000_000_000, "default host-instruction budget per request")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline (0 = none)")
+	mechName := flag.String("mech", "eh", "default MDA mechanism, by policy-registry name")
+	chaosRate := flag.Float64("chaos-rate", 0, "arm every serving fault point with this probability")
+	chaosSeed := flag.Int64("chaos-seed", 1, "serving fault-injection seed (with -chaos-rate)")
+	drainWait := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests at shutdown")
+	flag.Parse()
+
+	mech, ok := core.MechanismByName(*mechName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dbtserve: unknown mechanism %q (have %s)\n", *mechName, strings.Join(policy.AllNames(), ", "))
+		os.Exit(1)
+	}
+	var chaos *faultinject.Plan
+	if *chaosRate > 0 {
+		chaos = faultinject.New(*chaosSeed).
+			Rate(faultinject.ServeTransient, *chaosRate).
+			Rate(faultinject.ServePanic, *chaosRate)
+	}
+	srv := serve.NewServer(serve.ServerOptions{
+		Pool: serve.Options{
+			Workers: *workers,
+			Queue:   *queue,
+			Retries: *retries,
+			Chaos:   chaos,
+		},
+		Budget: *budget,
+	})
+	a := newApp(srv, mech, *deadline)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: a.mux()}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "dbtserve: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dbtserve: %v\n", err)
+		}
+		httpSrv.Shutdown(ctx)
+		srv.Close()
+		close(done)
+	}()
+
+	fmt.Printf("dbtserve: listening on %s (%d workers, mechanism %v)\n",
+		*addr, srv.Health().Workers, mech)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "dbtserve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

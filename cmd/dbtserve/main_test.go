@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mdabt/internal/core"
+	"mdabt/internal/serve"
+)
+
+func testApp(t *testing.T) (*app, *httptest.Server) {
+	t.Helper()
+	srv := serve.NewServer(serve.ServerOptions{
+		Pool:   serve.Options{Workers: 2, Retries: -1},
+		Budget: 200_000_000,
+	})
+	a := newApp(srv, core.ExceptionHandling, 10*time.Second)
+	ts := httptest.NewServer(a.mux())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return a, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body runRequest) (*http.Response, []byte) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+const testAsm = `
+        mov     ebx, 0x10000000
+        mov     ecx, 0
+        mov     eax, 0
+loop:   mov     edx, dword [ebx+2]
+        add     eax, edx
+        add     ecx, 1
+        cmp     ecx, 100
+        jl      loop
+        halt
+`
+
+func TestRunAsm(t *testing.T) {
+	_, ts := testApp(t)
+	resp, body := postRun(t, ts, runRequest{Asm: testAsm})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var r runResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if r.Cycles == 0 || r.HostInsts == 0 {
+		t.Errorf("empty counters: %+v", r)
+	}
+	if r.MisalignTraps == 0 {
+		t.Errorf("misaligned loop reported no traps: %+v", r)
+	}
+	if r.Mechanism != core.ExceptionHandling.String() {
+		t.Errorf("mechanism = %q", r.Mechanism)
+	}
+}
+
+func TestRunMechanismOverride(t *testing.T) {
+	_, ts := testApp(t)
+	resp, body := postRun(t, ts, runRequest{Asm: testAsm, Mech: "direct"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var r runResponse
+	json.Unmarshal(body, &r)
+	if r.MisalignTraps != 0 {
+		t.Errorf("direct mechanism trapped %d times", r.MisalignTraps)
+	}
+}
+
+func TestRunBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark model generation is slow")
+	}
+	_, ts := testApp(t)
+	resp, body := postRun(t, ts, runRequest{Bench: "429.mcf", Input: "train", Mech: "dpeh"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var r runResponse
+	json.Unmarshal(body, &r)
+	if r.Program != "429.mcf" || r.Cycles == 0 {
+		t.Errorf("response %+v", r)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	_, ts := testApp(t)
+	cases := []struct {
+		name string
+		body runRequest
+		want int
+	}{
+		{"empty", runRequest{}, http.StatusBadRequest},
+		{"both", runRequest{Asm: "halt", Bench: "429.mcf"}, http.StatusBadRequest},
+		{"bad asm", runRequest{Asm: "notanop eax"}, http.StatusBadRequest},
+		{"bad mech", runRequest{Asm: "halt", Mech: "nope"}, http.StatusBadRequest},
+		{"bad bench", runRequest{Bench: "999.nope"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postRun(t, ts, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d (%s), want %d", c.name, resp.StatusCode, body, c.want)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: malformed error body %s", c.name, body)
+		}
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	_, ts := testApp(t)
+	resp, body := postRun(t, ts, runRequest{
+		Asm: `
+        mov     ecx, 0
+spin:   add     ecx, 1
+        cmp     ecx, 2000000000
+        jl      spin
+        halt
+`,
+		DeadlineMS: 10,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, body)
+	}
+	var e errorResponse
+	json.Unmarshal(body, &e)
+	if e.Class != "permanent" {
+		t.Errorf("class = %q, want permanent", e.Class)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	a, ts := testApp(t)
+	// Concurrent traffic, then a health read.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); postRun(t, ts, runRequest{Asm: testAsm}) }()
+	}
+	wg.Wait()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Workers != 2 || h.Completed < 4 {
+		t.Errorf("health = %+v", h)
+	}
+	_ = a
+}
+
+func TestHealthzDraining(t *testing.T) {
+	a, ts := testApp(t)
+	if err := a.srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+	// New runs are rejected with a serving error.
+	runResp, body := postRun(t, ts, runRequest{Asm: "halt"})
+	if runResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("run while draining: status %d (%s), want 503", runResp.StatusCode, body)
+	}
+}

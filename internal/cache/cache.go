@@ -163,6 +163,21 @@ func (c *Cache) Flush() {
 	}
 }
 
+// Reset restores the cache to its just-built state: all lines invalid, LRU
+// clock and statistics zeroed. Unlike Flush it leaves no trace of past
+// activity, so a reused simulated machine behaves bit-identically to a
+// fresh one.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	for i := range c.lru {
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 // LineSize returns the line size in bytes.
 func (c *Cache) LineSize() int { return c.cfg.LineSize }
 
@@ -211,3 +226,11 @@ func (h *Hierarchy) probe(l1 *Cache, addr uint64) int {
 
 // MemAccesses reports the number of accesses that missed all cache levels.
 func (h *Hierarchy) MemAccesses() uint64 { return h.memAccesses }
+
+// Reset restores every level to its just-built state (see Cache.Reset).
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.memAccesses = 0
+}

@@ -44,6 +44,15 @@ func (cc *codeCache) reset() {
 	cc.stubNext = cc.base + cc.size
 }
 
+// reconfigure re-arms the cache for a new run: fresh size and fault plan,
+// both zones empty. The cache is a bump allocator over simulated memory,
+// so the "arena" — the address range — is reused as-is.
+func (cc *codeCache) reconfigure(size uint64, faults *faultinject.Plan) {
+	cc.size = size
+	cc.faults = faults
+	cc.reset()
+}
+
 // allocBlock reserves nbytes for a translated block body.
 func (cc *codeCache) allocBlock(nbytes uint64) (uint64, error) {
 	if cc.faults.Should(faultinject.AllocBlock) {

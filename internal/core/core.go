@@ -187,6 +187,15 @@ type Options struct {
 	// is flushed (Dynamo-style, §IV-C) and translation restarts.
 	CodeCacheBytes uint64
 
+	// SliceInsts bounds one uninterrupted burst of host execution inside
+	// RunContext: the machine runs at most this many instructions before
+	// control returns to the dispatcher, which checks the context between
+	// slices. Cancellation and deadlines therefore abort within one slice
+	// rather than one full budget. Slicing is invisible to results and
+	// statistics; it only bounds cancellation latency. Zero selects
+	// DefaultSliceInsts.
+	SliceInsts uint64
+
 	// PatchRetryLimit bounds the exception handler's failed patch attempts
 	// per site (stub zone full, assembler error, branch out of range).
 	// Past the limit the trap-storm limiter demotes the site: the block is
@@ -230,10 +239,17 @@ func DefaultOptions(m Mechanism) Options {
 		RearrangePerInstCycles: 120,
 		AnalyzeCyclesPerInst:   40,
 		CodeCacheBytes:         4 << 20,
+		SliceInsts:             DefaultSliceInsts,
 		PatchRetryLimit:        8,
 	}
 	return o
 }
+
+// DefaultSliceInsts is the default cancellation-check granularity of
+// RunContext, in host instructions: small enough that a deadline aborts in
+// well under a millisecond of wall clock, large enough that the per-slice
+// dispatch overhead vanishes against the simulated work.
+const DefaultSliceInsts = 1 << 20
 
 // normalize fills zero-valued tuning fields with the mechanism defaults, so
 // hand-built Options behave sensibly.
@@ -277,6 +293,9 @@ func (o *Options) normalize() {
 	}
 	if o.CodeCacheBytes == 0 {
 		o.CodeCacheBytes = d.CodeCacheBytes
+	}
+	if o.SliceInsts == 0 {
+		o.SliceInsts = d.SliceInsts
 	}
 	if o.PatchRetryLimit == 0 {
 		o.PatchRetryLimit = d.PatchRetryLimit

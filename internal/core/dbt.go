@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"mdabt/internal/align"
 	"mdabt/internal/faultinject"
@@ -95,36 +97,67 @@ type Engine struct {
 	alignEntry uint32
 	// ibtc mirrors the in-memory indirect-branch cache so invalidation can
 	// evict entries pointing into discarded translations.
-	ibtc [ibtcEntries]struct {
-		guest uint32
-		host  uint64
-		valid bool
-	}
+	ibtc [ibtcEntries]ibtcEntry
 
 	stats       Stats
 	events      *eventLog
 	hostCurrent bool // guest state lives in host registers (vs e.CPU)
 	halted      bool
+	// curTarget is the guest PC the dispatcher is currently working on; a
+	// panic recovered at the RunContext boundary stamps it into the
+	// Internal error as block context.
+	curTarget uint32
+}
+
+// ibtcEntry is the engine-side mirror of one IBTC slot.
+type ibtcEntry struct {
+	guest uint32
+	host  uint64
+	valid bool
 }
 
 // NewEngine builds a translator over the shared memory and host machine.
 // It registers itself as the machine's misalignment handler.
 func NewEngine(m *mem.Memory, mach *machine.Machine, opt Options) *Engine {
+	e := &Engine{Mem: m, Mach: mach}
+	e.configure(opt)
+	return e
+}
+
+// configure (re)initializes every piece of translator state for opt. The
+// decode cache's dense arena and the code cache's address range are reused
+// in place; everything else is rebuilt, so a configured engine is
+// indistinguishable from a fresh one.
+func (e *Engine) configure(opt Options) {
 	opt.normalize()
-	e := &Engine{
-		Mem:         m,
-		Mach:        mach,
-		Opt:         opt,
-		cc:          newCodeCache(opt.CodeCacheBytes, opt.FaultPlan),
-		blocks:      make(map[uint32]*block),
-		sites:       make(map[uint64]siteRef),
-		profiles:    make(map[uint32]*blockProfile),
-		retainedMDA: make(map[uint32]map[int]bool),
-		reverted:    make(map[uint32]map[int]bool),
-		blacklist:   make(map[uint32]bool),
-		softEmu:     make(map[uint32]bool),
-		counterNext: counterBase,
+	e.Opt = opt
+	if e.cc == nil {
+		e.cc = newCodeCache(opt.CodeCacheBytes, opt.FaultPlan)
+	} else {
+		e.cc.reconfigure(opt.CodeCacheBytes, opt.FaultPlan)
 	}
+	e.blocks = make(map[uint32]*block)
+	e.exits = nil
+	e.sites = make(map[uint64]siteRef)
+	e.profiles = make(map[uint32]*blockProfile)
+	clear(e.dec.dense) // keep the arena; every entry back to undecoded
+	clear(e.dec.far)
+	e.lutClear()
+	e.retainedMDA = make(map[uint32]map[int]bool)
+	e.reverted = make(map[uint32]map[int]bool)
+	e.blacklist = make(map[uint32]bool)
+	e.softEmu = make(map[uint32]bool)
+	e.invariantErr = nil
+	e.adaptives = nil
+	e.counterNext = counterBase
+	e.alignDB, e.alignEntry = nil, 0
+	e.ibtc = [ibtcEntries]ibtcEntry{}
+	e.stats = Stats{}
+	e.CPU = guest.CPU{}
+	e.hostCurrent = false
+	e.halted = false
+	e.curTarget = 0
+	e.mech, e.profiled, e.optErr = nil, false, nil
 	if err := opt.Validate(); err != nil {
 		e.optErr = err
 	} else if e.mech, err = opt.buildMechanism(); err != nil {
@@ -132,16 +165,33 @@ func NewEngine(m *mem.Memory, mach *machine.Machine, opt Options) *Engine {
 	} else {
 		e.profiled = e.mech.WantsInterpProfiling()
 	}
-	mach.SetMisalignHandler(e.handleMisalign)
+	e.Mach.SetMisalignHandler(e.handleMisalign)
+	e.Mach.SetFaultPlan(nil)
 	if opt.FaultPlan != nil {
 		// Trap-delivery faults (spurious/duplicate traps) fire inside the
 		// machine; every fired point also lands in the engine's event log.
-		mach.SetFaultPlan(opt.FaultPlan)
+		e.Mach.SetFaultPlan(opt.FaultPlan)
 		opt.FaultPlan.Observe(func(pt faultinject.Point) {
 			e.event(EvFault, 0, 0, string(pt))
 		})
 	}
-	return e
+}
+
+// Reset returns the engine — and its machine and memory — to a
+// just-constructed state under opt, so one System can execute program after
+// program with fresh statistics and a cold simulated machine. It is the
+// cheap-reuse primitive of the serving layer (internal/serve): the memory's
+// page arena, the machine's decode-cache window, the guest decode cache,
+// and the code-cache address range are all retained, only their contents
+// cleared. A reset engine produces bit-identical results and statistics to
+// a freshly built one.
+func (e *Engine) Reset(opt Options) {
+	e.Mem.Reset()
+	e.Mach.Reset()
+	if e.events != nil {
+		e.events = &eventLog{buf: make([]Event, 0, eventLogCap)}
+	}
+	e.configure(opt)
 }
 
 // Stats returns the BT-level statistics. InjectedFaults reflects the fault
@@ -233,11 +283,7 @@ func (e *Engine) ibtcFill(guestPC uint32, hostEntry uint64) {
 	addr := uint64(ibtcBase) + uint64(idx)*16
 	e.Mem.Write64(addr, uint64(guestPC))
 	e.Mem.Write64(addr+8, hostEntry)
-	e.ibtc[idx] = struct {
-		guest uint32
-		host  uint64
-		valid bool
-	}{guestPC, hostEntry, true}
+	e.ibtc[idx] = ibtcEntry{guestPC, hostEntry, true}
 	e.event(EvIBTCFill, guestPC, hostEntry, "")
 	e.stats.IBTCFills++
 	e.Mach.AddCycles(20) // table update in the monitor
@@ -434,8 +480,36 @@ func (e *Engine) blacklistBlock(pc uint32, cause error) {
 // instructions count 1:1 against the same budget). It returns ErrBudget on
 // exhaustion.
 func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
+	return e.RunContext(context.Background(), entry, maxHostInsts)
+}
+
+// RunContext is Run with cooperative cancellation: execution proceeds in
+// bounded budget slices (Options.SliceInsts host instructions at most) and
+// the context is checked between slices, so a deadline or cancellation
+// aborts within one slice rather than one full budget. The returned error
+// satisfies errors.Is against ctx.Err() when the context caused the abort.
+//
+// Every failure escaping the translate/dispatch/trap paths — including
+// recovered panics, which surface as Internal ClassifiedErrors carrying
+// the in-flight block PC and host PC — is classified (see ErrClass), so
+// callers can distinguish a bad program from a transient fault from an
+// engine bug. Slicing is invisible to simulated results and statistics.
+func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The guest register state in the host register file is not
+			// trustworthy mid-panic; keep the last synced CPU snapshot.
+			e.hostCurrent = false
+			err = &ClassifiedError{
+				Class:   Internal,
+				BlockPC: e.curTarget,
+				HostPC:  e.Mach.PC(),
+				Err:     fmt.Errorf("recovered panic: %v\n%s", r, debug.Stack()),
+			}
+		}
+	}()
 	if e.optErr != nil {
-		return e.optErr
+		return WithClass(Permanent, e.optErr)
 	}
 	e.CPU.Reset(entry)
 	e.hostCurrent = false
@@ -443,18 +517,28 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 	if e.Opt.StaticAlign && (e.alignDB == nil || e.alignEntry != entry) {
 		e.buildAlignDB(entry)
 	}
+	slice := e.Opt.SliceInsts
 	target := entry
-	resume := false // re-enter the machine at its current PC (adaptive revert)
+	e.curTarget = entry
+	resume := false // re-enter the machine at its current PC (adaptive
+	// revert, or a budget slice that ended mid-block)
+	sliceEnd := false // this re-entry resumes an interrupted slice, not a
+	// fresh dispatch: NativeBlockRuns must not recount it
 	for !e.halted {
+		e.curTarget = target
+		if cerr := ctx.Err(); cerr != nil {
+			e.syncToCPU()
+			return &ClassifiedError{Class: Permanent, BlockPC: target, Err: cerr}
+		}
 		budgetUsed := e.Mach.Counters().Insts + e.stats.InterpretedInsts
 		if budgetUsed >= maxHostInsts {
 			e.syncToCPU()
-			return ErrBudget
+			return WithClass(Permanent, ErrBudget)
 		}
 		if !resume {
 			if e.invariantErr != nil {
 				e.syncToCPU()
-				return e.invariantErr
+				return WithClass(Internal, e.invariantErr)
 			}
 			// A dispatch boundary is the only point where flushing is safe
 			// (no stale exit payloads in flight), so the injected forced
@@ -469,7 +553,9 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 				e.stats.InterpFallbacks++
 				next, err := e.interpretBlock(target)
 				if err != nil {
-					return err
+					// Interpretation fails only on undecodable or
+					// inexecutable guest code: the program is bad.
+					return &ClassifiedError{Class: Permanent, BlockPC: target, Err: err}
 				}
 				target = next
 				continue
@@ -482,7 +568,7 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 						p.heat++
 						next, err := e.interpretBlock(target)
 						if err != nil {
-							return err
+							return &ClassifiedError{Class: Permanent, BlockPC: target, Err: err}
 						}
 						p.succ[next]++
 						target = next
@@ -497,27 +583,38 @@ func (e *Engine) Run(entry uint32, maxHostInsts uint64) error {
 						e.blacklistBlock(target, err)
 						continue
 					}
-					return err
+					// Translation failures that survive the recovery ladder
+					// are bad guest code (undecodable instructions).
+					return &ClassifiedError{Class: Permanent, BlockPC: target, Err: err}
 				}
 			}
 			e.syncToHost()
 			e.Mach.SetPC(b.hostEntry)
 		}
-		resume = false
-		e.stats.NativeBlockRuns++
+		if !sliceEnd {
+			e.stats.NativeBlockRuns++
+		}
+		resume, sliceEnd = false, false
 		// Nothing on the paths from the loop top to here retires host or
 		// interpreted instructions, so the budget snapshot is still exact.
 		remaining := maxHostInsts - budgetUsed
+		if slice > 0 && remaining > slice {
+			remaining = slice
+		}
 		reason, payload, err := e.Mach.Run(remaining)
 		if err != nil {
-			return err
+			// The machine failed to decode code the translator emitted —
+			// an engine bug, not a property of the guest program.
+			return &ClassifiedError{Class: Internal, BlockPC: target, HostPC: e.Mach.PC(), Err: err}
 		}
 		switch reason {
 		case machine.StopHalt:
 			e.halted = true
 		case machine.StopLimit:
-			e.syncToCPU()
-			return ErrBudget
+			// Either the slice or the whole budget ran out mid-block; the
+			// loop top tells them apart (and re-checks the context). Resume
+			// at the machine's current PC without recounting the dispatch.
+			resume, sliceEnd = true, true
 		case machine.StopBrk:
 			e.Mach.AddCycles(e.Opt.DispatchCycles)
 			if payload == svcIndirect {

@@ -6,6 +6,10 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/machine"
+	"mdabt/internal/mem"
 )
 
 // The golden file pins the exact simulated behaviour (machine counters and
@@ -161,5 +165,68 @@ func TestMechanismEquivalence(t *testing.T) {
 		if _, ok := got[k]; !ok {
 			t.Errorf("%s: golden entry no longer exercised", k)
 		}
+	}
+}
+
+// TestEngineReuseEquivalence drives the entire golden matrix through ONE
+// engine recycled with Engine.Reset between runs — the serving layer's
+// reuse path. Every fingerprint must match the fresh-engine golden file
+// bit for bit: a reset engine is behaviourally indistinguishable from a
+// new one, across programs AND mechanism configurations.
+func TestEngineReuseEquivalence(t *testing.T) {
+	raw, err := os.ReadFile(equivalenceGoldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing: %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		k, v, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[k] = v
+	}
+
+	programs := []struct {
+		name string
+		img  []byte
+	}{
+		{"misloop", mdaLoopImg(t, 300)},
+		{"lateonset", lateOnsetImg(t, 100, 400)},
+		{"multiblock", multiBlockLoopImg(t, 800)},
+		{"mixedgroup", mixedGroupImg(t, 300)},
+	}
+	data := patternData(256)
+
+	m := mem.New()
+	mach := machine.New(m, machine.DefaultParams())
+	var e *Engine
+	ran := 0
+	for _, p := range programs {
+		static := censusSites(t, p.img, data)
+		for _, cfg := range equivalenceConfigs(static) {
+			key := p.name + "|" + cfg.name
+			if e == nil {
+				e = NewEngine(m, mach, cfg.opt)
+			} else {
+				e.Reset(cfg.opt)
+			}
+			e.LoadImage(guest.CodeBase, p.img)
+			m.WriteBytes(guest.DataBase, data)
+			if err := e.Run(guest.CodeBase, 500_000_000); err != nil {
+				t.Fatalf("%s: reused engine: %v", key, err)
+			}
+			w, ok := want[key]
+			if !ok {
+				t.Fatalf("%s: no golden entry", key)
+			}
+			if got := equivalenceFingerprint(e); got != w {
+				t.Errorf("%s: reused engine diverged from fresh-engine golden\n got %s\nwant %s", key, got, w)
+			}
+			ran++
+		}
+	}
+	if ran != len(want) {
+		t.Errorf("reuse matrix ran %d entries, golden has %d", ran, len(want))
 	}
 }

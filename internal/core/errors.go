@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrClass partitions engine failures by what a caller can usefully do
+// about them (DESIGN.md §11). The zero value is Permanent: an unknown
+// error is assumed unretriable, so a misclassification degrades to "fail
+// the request" rather than to a retry storm.
+type ErrClass int
+
+const (
+	// Permanent failures are caused by the request itself — a malformed
+	// guest program, a contradictory Options combination, an exhausted
+	// caller-chosen budget, a cancelled context. Retrying the identical
+	// request reproduces the identical failure.
+	Permanent ErrClass = iota
+	// Transient failures are environmental — injected faults, resource
+	// exhaustion outside the engine's own recovery ladder, serving-layer
+	// shedding. A retry (possibly after backoff) may succeed.
+	Transient
+	// Internal failures are engine bugs surfacing at the Run boundary —
+	// recovered panics from the translate/mdaseq/dispatch paths, invariant
+	// violations, undecodable host code the translator itself emitted.
+	// They are not retried: the same inputs would re-trip the same bug.
+	Internal
+)
+
+// String names the class.
+func (c ErrClass) String() string {
+	switch c {
+	case Permanent:
+		return "permanent"
+	case Transient:
+		return "transient"
+	case Internal:
+		return "internal"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ClassifiedError wraps an engine failure with its class and, when known,
+// the guest block and host PC being executed when it surfaced. Errors.Is/As
+// see through it to the underlying cause.
+type ClassifiedError struct {
+	Class   ErrClass
+	BlockPC uint32 // guest PC of the block in flight (0 when unknown)
+	HostPC  uint64 // host PC at failure (0 when unknown)
+	Err     error
+}
+
+// Error renders the class, context, and cause.
+func (e *ClassifiedError) Error() string {
+	s := "core: [" + e.Class.String() + "]"
+	if e.BlockPC != 0 {
+		s += fmt.Sprintf(" block=%#x", e.BlockPC)
+	}
+	if e.HostPC != 0 {
+		s += fmt.Sprintf(" hostpc=%#x", e.HostPC)
+	}
+	return s + " " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *ClassifiedError) Unwrap() error { return e.Err }
+
+// WithClass wraps err with an explicit class and no PC context. It returns
+// nil for a nil err.
+func WithClass(class ErrClass, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ClassifiedError{Class: class, Err: err}
+}
+
+// Classify reports the class of err: the class of the outermost
+// ClassifiedError in its chain, Permanent for context cancellation and
+// deadline expiry (caller-caused), and Permanent for anything unrecognized.
+func Classify(err error) ErrClass {
+	var ce *ClassifiedError
+	if errors.As(err, &ce) {
+		return ce.Class
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Permanent
+	}
+	return Permanent
+}
+
+// IsTransient reports whether err is classified Transient.
+func IsTransient(err error) bool { return err != nil && Classify(err) == Transient }
+
+// IsInternal reports whether err is classified Internal.
+func IsInternal(err error) bool { return err != nil && Classify(err) == Internal }

@@ -5,14 +5,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"mdabt/internal/core"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
 	"mdabt/internal/policy"
+	"mdabt/internal/serve"
 	"mdabt/internal/workload"
 )
 
@@ -112,6 +115,10 @@ type Session struct {
 	Parallelism int
 	// Budget bounds host instructions per run.
 	Budget uint64
+	// Timeout bounds the wall-clock time of each benchmark run (0 = none);
+	// a run that exceeds it fails with context.DeadlineExceeded instead of
+	// wedging the whole experiment.
+	Timeout time.Duration
 	// MachineParams overrides the host cost model (nil = machine.DefaultParams).
 	// The sensitivity tests use it to show the paper-shape conclusions are
 	// robust to cost-model changes.
@@ -286,7 +293,13 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	}
 	mach := machine.New(m, params)
 	e := core.NewEngine(m, mach, opt)
-	if err := e.Run(p.Entry(), s.Budget); err != nil {
+	ctx := context.Background()
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	if err := e.RunContext(ctx, p.Entry(), s.Budget); err != nil {
 		return RunResult{}, fmt.Errorf("experiments: %s under %v: %w", name, cfg, err)
 	}
 	// Every run doubles as a verifier pass: the emitted code of every live
@@ -302,8 +315,12 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	return r, nil
 }
 
-// forEach runs fn for every name on a bounded worker pool, preserving
-// per-name error reporting.
+// forEach fans the benchmark list out over a serve.Pool, preserving the
+// historical contract: every name runs, and the first error in name order
+// is returned. Relative to the old bespoke WaitGroup fan-out, the pool
+// adds panic isolation (a crashing benchmark surfaces as an Internal
+// error, not a process abort); per-run deadlines come from
+// Session.Timeout inside Run.
 func (s *Session) forEach(names []string, fn func(name string) error) error {
 	par := s.Parallelism
 	if par <= 0 {
@@ -315,25 +332,12 @@ func (s *Session) forEach(names []string, fn func(name string) error) error {
 	if par < 1 {
 		par = 1
 	}
-	sem := make(chan struct{}, par)
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, name string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(name)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	pool := serve.NewPool(serve.Options{Workers: par, Retries: -1, BreakerThreshold: -1})
+	defer pool.Close()
+	return pool.Each(context.Background(), len(names), nil,
+		func(ctx context.Context, i int, w *serve.Worker) error {
+			return fn(names[i])
+		})
 }
 
 // selectedNames returns the 21 performance benchmarks in Table I order.

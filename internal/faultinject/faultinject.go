@@ -17,6 +17,8 @@
 // injection is disabled.
 //
 // A Plan is not safe for concurrent use; each engine instance owns one.
+// When one logical plan must drive several pooled engines, derive one
+// independent deterministic child per worker with Fork.
 package faultinject
 
 import (
@@ -49,6 +51,13 @@ const (
 	// DuplicateTrap redelivers a misalignment trap after its handler has
 	// already run once.
 	DuplicateTrap Point = "machine.duplicate-trap"
+	// ServeTransient fails a pooled request with a Transient error before
+	// its engine runs (simulating momentary resource exhaustion in the
+	// serving layer); the pool's retry/backoff path absorbs it.
+	ServeTransient Point = "serve.transient"
+	// ServePanic panics a pool worker before its engine runs; the worker's
+	// panic isolation must convert it into an Internal error response.
+	ServePanic Point = "serve.worker-panic"
 )
 
 // Points returns every defined injection point.
@@ -56,6 +65,7 @@ func Points() []Point {
 	return []Point{
 		AllocBlock, AllocStub, Translate, PatchRange,
 		ForcedFlush, SpuriousTrap, DuplicateTrap,
+		ServeTransient, ServePanic,
 	}
 }
 
@@ -135,6 +145,31 @@ func (p *Plan) At(pt Point, occurrences ...uint64) *Plan {
 // Observe registers a callback invoked on every fired fault (used by the
 // engine to stamp EvFault events into its log).
 func (p *Plan) Observe(fn func(Point)) { p.onFire = fn }
+
+// Fork derives an independent child plan for worker (or request) id: the
+// same armed triggers — per-point probabilities and occurrence counts — over
+// a PRNG stream mixed from the parent seed and id. Children are
+// decorrelated from each other and from the parent, yet each (seed, id)
+// pair replays the identical fault schedule, so a pool of engines can share
+// one logical plan while every worker keeps the single-owner, deterministic
+// contract. Fork is safe on a nil plan (it returns nil) and must be called
+// before the parent or any sibling is being consulted concurrently.
+func (p *Plan) Fork(id int) *Plan {
+	if p == nil {
+		return nil
+	}
+	// SplitMix64-style odd-constant mix keeps nearby ids far apart in seed
+	// space (id 0 must not collide with the parent stream).
+	child := New(p.seed ^ (int64(id)+1)*-0x61c8864680b583eb)
+	for pt, tr := range p.triggers {
+		ct := child.triggerFor(pt)
+		ct.prob = tr.prob
+		for n := range tr.counts {
+			ct.counts[n] = true
+		}
+	}
+	return child
+}
 
 // Should reports whether the fault at pt fires now, and records the check.
 // It is safe on a nil plan.

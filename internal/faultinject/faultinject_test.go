@@ -1,6 +1,9 @@
 package faultinject
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 // TestNilPlanIsInert: nil receivers never fire and never panic.
 func TestNilPlanIsInert(t *testing.T) {
@@ -138,5 +141,93 @@ func TestObserverSeesEveryFire(t *testing.T) {
 	}
 	if p.Total() == 0 {
 		t.Fatal("plan never fired")
+	}
+}
+
+// forkSchedule replays n checks of every point against a fork of plan and
+// returns the fire pattern as a bitstring per point.
+func forkSchedule(plan *Plan, id, n int) map[Point]string {
+	child := plan.Fork(id)
+	out := make(map[Point]string)
+	for _, pt := range Points() {
+		bits := make([]byte, n)
+		for i := range bits {
+			if child.Should(pt) {
+				bits[i] = '1'
+			} else {
+				bits[i] = '0'
+			}
+		}
+		out[pt] = string(bits)
+	}
+	return out
+}
+
+// TestForkDeterminismAcrossWorkers proves the pooled-engine contract: each
+// worker's fork replays an identical fault schedule on every run, workers
+// are decorrelated from each other, and concurrent consumption is safe
+// because each goroutine owns its own fork (run under -race).
+func TestForkDeterminismAcrossWorkers(t *testing.T) {
+	const workers, checks = 8, 400
+	parent := New(77).RateAll(0.3).At(AllocBlock, 3, 9)
+
+	replay := func() []map[Point]string {
+		// The same parent arming, rebuilt, so runs are fully independent.
+		p := New(77).RateAll(0.3).At(AllocBlock, 3, 9)
+		out := make([]map[Point]string, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				out[w] = forkSchedule(p, w, checks)
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+
+	first, second := replay(), replay()
+	distinct := 0
+	for w := 0; w < workers; w++ {
+		for _, pt := range Points() {
+			if first[w][pt] != second[w][pt] {
+				t.Errorf("worker %d point %s: schedule not reproducible", w, pt)
+			}
+		}
+		if w > 0 && first[w][SpuriousTrap] != first[0][SpuriousTrap] {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Error("all worker forks produced identical schedules; streams are correlated")
+	}
+	// Count triggers are copied into every fork: occurrence 3 and 9 fire
+	// for each worker regardless of its probability stream.
+	for w := 0; w < workers; w++ {
+		bits := first[w][AllocBlock]
+		if bits[2] != '1' || bits[8] != '1' {
+			t.Errorf("worker %d: At() counts not inherited by fork (%q)", w, bits[:10])
+		}
+	}
+	// Forks must also diverge from the parent's own stream.
+	parentBits := make([]byte, checks)
+	for i := range parentBits {
+		if parent.Should(SpuriousTrap) {
+			parentBits[i] = '1'
+		} else {
+			parentBits[i] = '0'
+		}
+	}
+	if string(parentBits) == first[0][SpuriousTrap] {
+		t.Error("fork 0 shares the parent's stream")
+	}
+}
+
+// TestForkNil: forking a nil plan stays nil (chaos disabled end to end).
+func TestForkNil(t *testing.T) {
+	var p *Plan
+	if p.Fork(3) != nil {
+		t.Fatal("nil plan forked to non-nil")
 	}
 }

@@ -174,6 +174,28 @@ func New(m *mem.Memory, p Params) *Machine {
 // Caches exposes the cache hierarchy (nil when disabled).
 func (m *Machine) Caches() *cache.Hierarchy { return m.caches }
 
+// Reset restores the machine to its just-built state — registers, PC,
+// counters, issue-slot state, the decoded-instruction cache (window
+// re-anchors on the next fetch), and the cache hierarchy — while keeping
+// the allocated decode-cache arena for reuse. The registered misalignment
+// handler is preserved; the fault plan is cleared (its owner re-installs
+// one per run). A reset machine behaves bit-identically to a fresh one.
+func (m *Machine) Reset() {
+	m.regs = [host.NumRegs]uint64{}
+	m.pc = 0
+	m.counters = Counters{}
+	m.faults = nil
+	m.anchored = false
+	m.denseBase = 0
+	clear(m.dense)
+	clear(m.farLines)
+	m.curLine, m.curLineID = nil, 0
+	m.slotOpen = false
+	if m.caches != nil {
+		m.caches.Reset()
+	}
+}
+
 // Counters returns a copy of the accumulated counters.
 func (m *Machine) Counters() Counters { return m.counters }
 

@@ -319,6 +319,26 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) {
 	}
 }
 
+// Reset zeroes every allocated page while keeping the backing arena —
+// pages, L2 tables, and the high map all stay allocated — so a pooled
+// engine can reuse the memory for its next program without reallocating.
+// After Reset all reads return zero, exactly as from a fresh Memory.
+func (m *Memory) Reset() {
+	for _, l2 := range m.dense {
+		if l2 == nil {
+			continue
+		}
+		for _, p := range l2 {
+			if p != nil {
+				clear(p[:])
+			}
+		}
+	}
+	for _, p := range m.high {
+		clear(p[:])
+	}
+}
+
 // Pages reports the number of allocated pages (for footprint accounting).
 func (m *Memory) Pages() int { return m.npages }
 

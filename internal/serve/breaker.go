@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-request-key circuit breaker. It trips to open after
+// `threshold` consecutive failures; after `cooldown` it admits a single
+// half-open probe, whose outcome either recloses the circuit or re-opens
+// it for another cooldown. Context-caused failures (the caller's deadline
+// or cancellation) are not evidence against the key and are ignored.
+// A threshold < 0 disables the breaker entirely.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	threshold int
+	cooldown  time.Duration
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request for this key may proceed now.
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		// Cooldown over: admit exactly one probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record feeds a request outcome back into the circuit.
+func (b *breaker) record(err error, now time.Time) {
+	if b.threshold < 0 {
+		return
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The caller gave up; that says nothing about the key. A half-open
+		// probe that was cancelled yields the probe slot back.
+		b.mu.Lock()
+		b.probing = false
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.failures++
+	b.probing = false
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}
+
+// isOpen reports whether the circuit currently rejects requests.
+func (b *breaker) isOpen(now time.Time) bool {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && now.Sub(b.openedAt) < b.cooldown
+}

@@ -41,6 +41,7 @@
 package mdabt
 
 import (
+	"context"
 	"io"
 
 	"mdabt/internal/core"
@@ -49,6 +50,7 @@ import (
 	"mdabt/internal/guestasm"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
+	"mdabt/internal/serve"
 	"mdabt/internal/workload"
 )
 
@@ -123,6 +125,64 @@ func (s *System) LoadImage(base uint32, image []byte) { s.Engine.LoadImage(base,
 func (s *System) Run(entry uint32, maxHostInsts uint64) error {
 	return s.Engine.Run(entry, maxHostInsts)
 }
+
+// RunContext is Run with cooperative cancellation: execution proceeds in
+// bounded budget slices and aborts shortly after ctx is cancelled or its
+// deadline passes (errors.Is(err, ctx.Err()) reports the cause).
+func (s *System) RunContext(ctx context.Context, entry uint32, maxHostInsts uint64) error {
+	return s.Engine.RunContext(ctx, entry, maxHostInsts)
+}
+
+// Reset recycles the system for another program under a (possibly
+// different) configuration: guest memory is zeroed and every engine and
+// machine structure returns to its initial state, reusing the allocated
+// arenas. A reset system is behaviourally indistinguishable from a new
+// one.
+func (s *System) Reset(opt Options) { s.Engine.Reset(opt) }
+
+// Error taxonomy of the engine and serving layer (see core.ErrClass):
+// Permanent errors are the request's own fault (bad program, exhausted
+// budget, cancelled context), Transient errors are momentary conditions
+// worth retrying (injected faults, overload shedding), and Internal
+// errors are engine bugs (recovered panics, bad emitted host code).
+type ErrClass = core.ErrClass
+
+const (
+	ErrPermanent = core.Permanent
+	ErrTransient = core.Transient
+	ErrInternal  = core.Internal
+)
+
+// ClassifyError reports an error's class (Permanent for unclassified).
+func ClassifyError(err error) ErrClass { return core.Classify(err) }
+
+// Serving layer: a pool of reusable engines running many guest programs
+// concurrently with deadlines, retries, circuit breaking, and graceful
+// drain (see internal/serve).
+type (
+	// Server runs guest programs over pooled, recycled engines.
+	Server = serve.Server
+	// ServerOptions configures NewServer.
+	ServerOptions = serve.ServerOptions
+	// ServeRequest describes one guest program execution.
+	ServeRequest = serve.Request
+	// ServeResult is a completed execution's state and statistics.
+	ServeResult = serve.Result
+	// PoolOptions tunes the worker pool inside a Server.
+	PoolOptions = serve.Options
+	// PoolHealth is a point-in-time serving health snapshot.
+	PoolHealth = serve.Health
+)
+
+// Serving-layer sentinel errors.
+var (
+	ErrServeOverloaded = serve.ErrOverloaded
+	ErrServeDraining   = serve.ErrDraining
+	ErrServeCircuit    = serve.ErrCircuitOpen
+)
+
+// NewServer starts a serving pool (see Server.Do, Server.Drain).
+func NewServer(opt ServerOptions) *Server { return serve.NewServer(opt) }
 
 // GuestCPU returns the final guest architectural state.
 func (s *System) GuestCPU() guest.CPU { return s.Engine.FinalCPU() }
