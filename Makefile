@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_COUNT ?= 10
 
-.PHONY: all build test race bench bench-smoke bench-json fmt vet mech-smoke serve-chaos
+.PHONY: all build test race bench bench-smoke bench-json fmt vet mech-smoke serve-chaos fault-chaos
 
 all: build test
 
@@ -31,6 +31,14 @@ bench-smoke:
 serve-chaos:
 	$(GO) test -race -short -v ./internal/serve
 	$(GO) test -race -short ./cmd/dbtserve
+
+# Guest-fault suite under the race detector: the three fault workload
+# kinds (page-straddling MDA, self-modifying, multi-context) across every
+# registry mechanism, with and without fixed-seed fault injection; fault
+# delivery must be precise and interpreter-identical (DESIGN.md §12).
+fault-chaos:
+	$(GO) test -race -run 'TestFaultCosimAllMechanisms|TestChaosGuestFaults|TestSelfModifyingInvalidates|TestMultiContextReset' -v ./internal/core
+	$(GO) test -race -run 'TestServeGuestFaults' ./internal/serve
 
 # One experiment run per registered mechanism (policy registry) — the CI
 # mechanism-smoke job.

@@ -42,6 +42,10 @@ func main() {
 	multiversion := flag.Bool("multiversion", false, "enable multi-version code (DPEH)")
 	mvblock := flag.Bool("mvblock", false, "multi-version at block granularity (with -multiversion)")
 	bench := flag.String("bench", "", "run a built-in benchmark model instead of a file")
+	faultProg := flag.String("faultprog", "",
+		"run a built-in guest-fault workload (straddle-ok, straddle-store-fault, straddle-load-unmapped, smc-rewrite)")
+	expectFault := flag.Bool("expect-fault", false,
+		"succeed only if the run ends in a guest-visible memory fault (printed with the stats)")
 	input := flag.String("input", "ref", "benchmark input set: train or ref")
 	budget := flag.Uint64("budget", 4_000_000_000, "host-instruction budget")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the run (0 = none)")
@@ -103,6 +107,27 @@ func main() {
 
 	progName := "program"
 	switch {
+	case *bench != "" && *faultProg != "":
+		fail("give either -bench or -faultprog, not both")
+	case *faultProg != "":
+		progs, err := workload.FaultPrograms()
+		if err != nil {
+			fail("faultprog: %v", err)
+		}
+		var fp *workload.FaultProgram
+		var names []string
+		for _, p := range progs {
+			names = append(names, p.Name)
+			if p.Name == *faultProg {
+				fp = p
+			}
+		}
+		if fp == nil {
+			fail("unknown fault workload %q (have %s)", *faultProg, strings.Join(names, ", "))
+		}
+		progName = fp.Name
+		fp.Load(m) // code + data images plus the page-protection plan
+		entry = fp.Entry()
 	case *bench != "":
 		spec, ok := workload.SpecByName(*bench)
 		if !ok {
@@ -179,9 +204,17 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	if err := eng.RunContext(ctx, entry, *budget); err != nil {
-		stopProfiles() // a budget- or deadline-exhausted run is still worth profiling
-		fail("run: %v", err)
+	runErr := eng.RunContext(ctx, entry, *budget)
+	var gf *guest.Fault
+	if runErr != nil {
+		g, ok := core.AsGuestFault(runErr)
+		if !ok || !*expectFault {
+			stopProfiles() // a budget- or deadline-exhausted run is still worth profiling
+			fail("run: %v", runErr)
+		}
+		gf = g
+	} else if *expectFault {
+		fail("run halted cleanly; -expect-fault required a guest-visible memory fault")
 	}
 
 	c := mach.Counters()
@@ -198,6 +231,9 @@ func main() {
 		s.InterpretedInsts, s.InterpretedMDAs)
 	fmt.Printf("dispatches/links: %d / %d\n", s.NativeBlockRuns, s.Links)
 	fmt.Printf("code cache:       %d bytes\n", eng.CodeCacheUsed())
+	if gf != nil {
+		fmt.Printf("guest fault:      pc=%#x %v\n", gf.PC, &gf.Mem)
+	}
 	if *faultRate > 0 || s.StubZoneFull+s.UnpatchableSites+s.InterpFallbacks+s.TrapStormDemotions > 0 {
 		fmt.Printf("degraded:         stub-full=%d unpatchable=%d interp-fallbacks=%d demotions=%d flushes=%d\n",
 			s.StubZoneFull, s.UnpatchableSites, s.InterpFallbacks, s.TrapStormDemotions, s.Flushes)

@@ -10,10 +10,13 @@
 // Endpoints:
 //
 //	POST /run     — execute a guest program; JSON body:
-//	                  {"asm": "<guest assembly>"}         assemble and run, or
-//	                  {"bench": "164.gzip", "input":"ref"} run a benchmark model
+//	                  {"asm": "<guest assembly>"}          assemble and run, or
+//	                  {"bench": "164.gzip", "input":"ref"} run a benchmark model, or
+//	                  {"faultprog": "straddle-store-fault"} run a guest-fault workload
 //	                optional fields: "mech" (policy name), "budget",
-//	                "deadline_ms", "threshold".
+//	                "deadline_ms", "threshold". A run ending in a
+//	                guest-visible memory fault returns HTTP 422 with the
+//	                faulting guest PC and address in "guest_fault".
 //	GET  /healthz — pool health snapshot (503 while draining).
 //
 // SIGINT/SIGTERM drains in-flight requests (bounded) before exiting.
@@ -47,7 +50,8 @@ import (
 type runRequest struct {
 	Asm        string `json:"asm,omitempty"`
 	Bench      string `json:"bench,omitempty"`
-	Input      string `json:"input,omitempty"` // "train" or "ref" (default)
+	FaultProg  string `json:"faultprog,omitempty"` // built-in guest-fault workload
+	Input      string `json:"input,omitempty"`     // "train" or "ref" (default)
 	Mech       string `json:"mech,omitempty"`
 	Threshold  uint64 `json:"threshold,omitempty"`
 	Budget     uint64 `json:"budget,omitempty"`
@@ -74,6 +78,18 @@ type runResponse struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	Class string `json:"class"`
+	// GuestFault is set (with HTTP 422) when the guest program itself took
+	// a memory fault: the run was served correctly, the program faulted.
+	GuestFault *guestFaultBody `json:"guest_fault,omitempty"`
+}
+
+// guestFaultBody pins the faulting guest PC and access in the 422 body.
+type guestFaultBody struct {
+	PC       string `json:"pc"`
+	Addr     string `json:"addr"`
+	Size     int    `json:"size"`
+	Write    bool   `json:"write"`
+	Unmapped bool   `json:"unmapped"`
 }
 
 // app binds the HTTP handlers to one serving pool.
@@ -118,8 +134,28 @@ func errStatus(err error) int {
 	case core.IsTransient(err):
 		return http.StatusServiceUnavailable
 	default:
+		if _, ok := core.AsGuestFault(err); ok {
+			// The serving layer did its job; the guest program faulted.
+			return http.StatusUnprocessableEntity
+		}
 		return http.StatusBadRequest // Permanent: the request's own fault
 	}
+}
+
+// errBody builds the JSON error body, attaching the precise guest fault
+// (PC, address, access) when the run ended in one.
+func errBody(err error) errorResponse {
+	resp := errorResponse{Error: err.Error(), Class: core.Classify(err).String()}
+	if gf, ok := core.AsGuestFault(err); ok {
+		resp.GuestFault = &guestFaultBody{
+			PC:       fmt.Sprintf("%#x", gf.PC),
+			Addr:     fmt.Sprintf("%#x", gf.Mem.Addr),
+			Size:     gf.Mem.Size,
+			Write:    gf.Mem.Write,
+			Unmapped: gf.Mem.Unmapped,
+		}
+	}
+	return resp
 }
 
 func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -155,10 +191,39 @@ func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
 		req.Timeout = time.Duration(body.DeadlineMS) * time.Millisecond
 	}
 	var name string
+	given := 0
+	for _, s := range []string{body.Asm, body.Bench, body.FaultProg} {
+		if s != "" {
+			given++
+		}
+	}
 	switch {
-	case body.Asm != "" && body.Bench != "":
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give either asm or bench, not both", Class: "permanent"})
+	case given > 1:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give exactly one of asm, bench, faultprog", Class: "permanent"})
 		return
+	case body.FaultProg != "":
+		progs, err := workload.FaultPrograms()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Class: "internal"})
+			return
+		}
+		var fp *workload.FaultProgram
+		var names []string
+		for _, p := range progs {
+			names = append(names, p.Name)
+			if p.Name == body.FaultProg {
+				fp = p
+			}
+		}
+		if fp == nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("unknown fault workload %q (have %s)", body.FaultProg, strings.Join(names, ", ")),
+				Class: "permanent",
+			})
+			return
+		}
+		name = fp.Name
+		req.Load = func(m *mem.Memory) uint32 { fp.Load(m); return fp.Entry() }
 	case body.Asm != "":
 		img, err := guestasm.Assemble(body.Asm, guest.CodeBase)
 		if err != nil {
@@ -181,14 +246,14 @@ func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
 		req.Key = body.Bench
 		req.Load = func(m *mem.Memory) uint32 { prog.Load(m, in); return prog.Entry() }
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "need asm or bench", Class: "permanent"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "need asm, bench, or faultprog", Class: "permanent"})
 		return
 	}
 
 	start := time.Now()
 	res, err := a.srv.Do(r.Context(), req)
 	if err != nil {
-		writeJSON(w, errStatus(err), errorResponse{Error: err.Error(), Class: core.Classify(err).String()})
+		writeJSON(w, errStatus(err), errBody(err))
 		return
 	}
 	resp := runResponse{

@@ -101,6 +101,46 @@ func TestRunBench(t *testing.T) {
 	}
 }
 
+// TestRunFaultProg: a guest program that takes a memory fault gets a
+// distinct 422 response carrying the faulting PC and address, while the
+// success-expected fault workload completes normally.
+func TestRunFaultProg(t *testing.T) {
+	_, ts := testApp(t)
+
+	resp, body := postRun(t, ts, runRequest{FaultProg: "straddle-store-fault", Mech: "eh"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d (%s), want 422", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	if e.Class != "permanent" {
+		t.Errorf("class = %q, want permanent", e.Class)
+	}
+	if e.GuestFault == nil {
+		t.Fatalf("no guest_fault in 422 body: %s", body)
+	}
+	if e.GuestFault.Addr != "0x10006000" || !e.GuestFault.Write || e.GuestFault.PC == "" {
+		t.Errorf("guest_fault = %+v, want write fault at 0x10006000 with a PC", e.GuestFault)
+	}
+
+	resp, body = postRun(t, ts, runRequest{FaultProg: "straddle-ok", Mech: "dpeh"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("straddle-ok: status %d (%s), want 200", resp.StatusCode, body)
+	}
+	var r runResponse
+	json.Unmarshal(body, &r)
+	if r.Program != "straddle-ok" || r.Cycles == 0 {
+		t.Errorf("response %+v", r)
+	}
+
+	resp, body = postRun(t, ts, runRequest{FaultProg: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown faultprog: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	_, ts := testApp(t)
 	cases := []struct {

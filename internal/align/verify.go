@@ -48,6 +48,13 @@ type HostBlock struct {
 	CheckBranch func(pc, target uint64) error
 	// CheckBrk validates a BRKBT payload. nil accepts any payload.
 	CheckBrk func(pc uint64, payload uint32) error
+
+	// Bounds, when non-nil, holds the sorted host start addresses of the
+	// guest instructions' emissions (the engine's fault-attribution table).
+	// Every data-accessing memory op must then be preceded by a bound at or
+	// below its PC, or a memory fault at that op could not be attributed to
+	// a precise guest instruction.
+	Bounds []uint64
 }
 
 // Finding is one verifier complaint.
@@ -93,6 +100,9 @@ func Verify(b HostBlock) []Finding {
 		case host.FormatMem:
 			if in.Op == host.LDA || in.Op == host.LDAH {
 				break // address arithmetic, not an access
+			}
+			if b.Bounds != nil && (len(b.Bounds) == 0 || b.Bounds[0] > pc) {
+				bad(pc, "memory op %v precedes every fault-attribution bound", in.Op)
 			}
 			if !in.Op.Aligns() {
 				break // byte accesses and LDQ_U/STQ_U never trap

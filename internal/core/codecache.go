@@ -125,6 +125,17 @@ type memSite struct {
 	patchFails int
 }
 
+// instBound maps the host address where a guest instruction's emission
+// starts to that instruction's index in block.insts. Recorded on the
+// translation's recording pass, in emission order (host PCs strictly
+// increase), so the access-fault handler can binary-search any in-block
+// host PC back to the guest instruction it implements. Block-granularity
+// multi-version bodies record each instruction once per emitted copy.
+type instBound struct {
+	hostPC uint64
+	idx    int
+}
+
 // memKind describes which MDA sequence a site needs.
 type memKind uint8
 
@@ -153,6 +164,9 @@ type block struct {
 	hostSize  uint64
 	exits     []*exit
 	sites     []*memSite
+	// bounds maps in-block host PCs back to guest instruction indices
+	// (precise fault attribution; see instBound).
+	bounds []instBound
 	// knownMDA marks inst indices known to do MDAs: from the profiling
 	// phase at translation time plus every site the exception handler has
 	// seen trap. It survives retranslation (§IV-C) so the new code inlines

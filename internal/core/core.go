@@ -401,11 +401,22 @@ const (
 const (
 	svcHalt     = 0 // machine.HaltService
 	svcIndirect = 1 // dispatch to guest PC in tmpIndirect
+	// svcFault is the fault pad's payload: the access-fault handler parks
+	// the machine on the pad after recording a pending guest fault, and the
+	// dispatcher delivers it precisely through the interpreter.
+	svcFault    = 2
 	svcExitBase = 8 // payload-svcExitBase indexes the engine's exit table
 	// svcAdaptiveFlag marks an adaptive-revert request; the low bits index
 	// the engine's adaptive-site table. Exit IDs stay below the flag.
 	svcAdaptiveFlag = 1 << 24
 )
+
+// btFaultBase is the host address of the fault pad: a single BRKBT(svcFault)
+// written by configure. Trap handlers that detect a guest-visible fault
+// resume the machine here instead of at the faulting access, so the machine
+// stops at a dispatch boundary with no further memory traffic and the
+// engine can rewind to the faulting guest instruction (DESIGN.md §12).
+const btFaultBase = 0x7E00_0000
 
 // counterBase is the host address of the BT's adaptive streak counters
 // (guest-invisible data, kept below 2^31 so a single LDAH/LDA pair
@@ -454,4 +465,11 @@ type Stats struct {
 	InterpFallbacks    uint64 // executions of blacklisted blocks via the interpreter
 	TrapStormDemotions uint64 // sites demoted to soft emulation by the retry limiter
 	InjectedFaults     uint64 // faults fired by the injection plan (all points)
+
+	// Guest-visible memory faults and self-modifying code (DESIGN.md §12).
+	GuestFaults        uint64 // precise guest faults delivered (page-protection violations)
+	GuestFaultResumes  uint64 // translated-code traps handed to the interpreter for precise delivery
+	SMCInvalidations   uint64 // translations discarded because the guest wrote its own code
+	SMCDecodeFlushes   uint64 // decode-cache entries dropped by guest code writes
+	UnattributedFaults uint64 // access traps outside any translation, re-executed raw
 }

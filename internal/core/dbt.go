@@ -95,6 +95,19 @@ type Engine struct {
 	// sitePolicies/memAccessSub for verdict overrides.
 	alignDB    *align.Analysis
 	alignEntry uint32
+	// blockSpans and stubRanges attribute trapped host PCs back to guest
+	// instructions for precise fault delivery (fault.go). Both are
+	// append-only within a cache generation and cleared only on flush:
+	// invalidated blocks keep their spans because stale code can still
+	// execute (and trap) until the next dispatch boundary.
+	blockSpans []blockSpan
+	stubRanges []stubRange
+	// pendingFault carries a detected guest fault from the in-machine trap
+	// handlers to the dispatcher's deliverFault.
+	pendingFault *pendingFault
+	// codePages tracks the guest code pages the engine has armed store
+	// watches on (self-modification detection).
+	codePages map[uint64]bool
 	// ibtc mirrors the in-memory indirect-branch cache so invalidation can
 	// evict entries pointing into discarded translations.
 	ibtc [ibtcEntries]ibtcEntry
@@ -151,6 +164,10 @@ func (e *Engine) configure(opt Options) {
 	e.adaptives = nil
 	e.counterNext = counterBase
 	e.alignDB, e.alignEntry = nil, 0
+	e.blockSpans = nil
+	e.stubRanges = nil
+	e.pendingFault = nil
+	e.codePages = make(map[uint64]bool)
 	e.ibtc = [ibtcEntries]ibtcEntry{}
 	e.stats = Stats{}
 	e.CPU = guest.CPU{}
@@ -166,6 +183,8 @@ func (e *Engine) configure(opt Options) {
 		e.profiled = e.mech.WantsInterpProfiling()
 	}
 	e.Mach.SetMisalignHandler(e.handleMisalign)
+	e.Mach.SetAccessFaultHandler(e.handleAccessFault)
+	e.writeFaultPad()
 	e.Mach.SetFaultPlan(nil)
 	if opt.FaultPlan != nil {
 		// Trap-delivery faults (spurious/duplicate traps) fire inside the
@@ -435,6 +454,11 @@ func (e *Engine) flushAll() {
 	e.lutClear()
 	e.exits = nil
 	e.sites = make(map[uint64]siteRef)
+	// A flush is only reached at a dispatch boundary, so no stale code (and
+	// no stale trap) can outlive it: the attribution tables reset with the
+	// allocator whose addresses they describe.
+	e.blockSpans = nil
+	e.stubRanges = nil
 	e.cc.reset()
 	e.Mach.IMB()
 	if e.Opt.IBTC {
@@ -554,8 +578,9 @@ func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint
 				next, err := e.interpretBlock(target)
 				if err != nil {
 					// Interpretation fails only on undecodable or
-					// inexecutable guest code: the program is bad.
-					return &ClassifiedError{Class: Permanent, BlockPC: target, Err: err}
+					// inexecutable guest code, or on a precise guest
+					// memory fault: the program (or its input) is bad.
+					return e.guestError(target, err)
 				}
 				target = next
 				continue
@@ -568,7 +593,7 @@ func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint
 						p.heat++
 						next, err := e.interpretBlock(target)
 						if err != nil {
-							return &ClassifiedError{Class: Permanent, BlockPC: target, Err: err}
+							return e.guestError(target, err)
 						}
 						p.succ[next]++
 						target = next
@@ -584,8 +609,9 @@ func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint
 						continue
 					}
 					// Translation failures that survive the recovery ladder
-					// are bad guest code (undecodable instructions).
-					return &ClassifiedError{Class: Permanent, BlockPC: target, Err: err}
+					// are bad guest code (undecodable instructions, or a
+					// fetch-protection fault found while decoding).
+					return e.guestError(target, err)
 				}
 			}
 			e.syncToHost()
@@ -617,6 +643,18 @@ func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint
 			resume, sliceEnd = true, true
 		case machine.StopBrk:
 			e.Mach.AddCycles(e.Opt.DispatchCycles)
+			if payload == svcFault {
+				// A trap handler parked the machine on the fault pad: rewind
+				// to the faulting guest instruction and re-execute it under
+				// the interpreter — a precise guest fault aborts the run, a
+				// self-modifying store completes and invalidates stale code.
+				next, ferr := e.deliverFault()
+				if ferr != nil {
+					return ferr
+				}
+				target = next
+				continue
+			}
 			if payload == svcIndirect {
 				target = uint32(e.Mach.Reg(tmpIndirect))
 				if e.Opt.IBTC {
@@ -699,6 +737,18 @@ func stubKind(op host.Op) (memKind, bool) {
 // Fig. 5): registered with the machine, called after the architectural trap
 // cost is charged.
 func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, ea uint64) uint64 {
+	// Guest-fault pre-check: before any path below emulates the access
+	// (which would commit a store the guest is not allowed to make), test
+	// the guest access range against the page protections. A violating or
+	// code-watched access is rerouted to the fault pad for precise
+	// delivery, exactly like an access-protection trap (fault.go).
+	if e.Mem.Armed() {
+		if b, idx, ok := e.resolveFaultSite(pc); ok && isGuestAccess(inst) &&
+			e.faultsGuest(b, idx, inst.Op.IsStore()) {
+			e.pendingFault = &pendingFault{b: b, idx: idx}
+			return btFaultBase
+		}
+	}
 	ref, known := e.sites[pc]
 	// The mechanism decides the reaction; Fixup means it has no exception
 	// handler and the OS-style software fixup is the permanent cost.
@@ -831,6 +881,11 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 	}
 	m.Patch(pc, host.MustEncode(host.Inst{Op: host.BR, Ra: host.Zero, Disp: d}))
 	site.patched[pc] = true
+	// The stub now carries live guest accesses: register its range so a
+	// protection trap inside it attributes back to the site's instruction.
+	e.stubRanges = append(e.stubRanges, stubRange{
+		lo: addr, hi: addr + stubLen, b: b, idx: site.instIdx,
+	})
 	e.event(EvPatch, site.guestPC, pc, fmt.Sprintf("stub=%#x", addr))
 	e.stats.Patches++
 	e.stats.MDAStubs++

@@ -34,9 +34,10 @@ const (
 )
 
 // decodeCache is a PC-indexed cache of decoded guest instructions. The zero
-// value is ready to use. Guest code is immutable for the lifetime of a run
-// (the engine supports no guest self-modification), so entries are never
-// invalidated; per-site profiles can be reset individually (retranslation
+// value is ready to use. Entries stay valid until a guest store overlaps
+// their encoded bytes (self-modifying code): the owner routes such stores
+// through invalidateWrite, which drops every decode the write could have
+// changed. Per-site profiles can also be reset individually (retranslation
 // restarts profiling).
 type decodeCache struct {
 	dense []decEntry // indexed by pc - decDenseBase
@@ -83,19 +84,54 @@ func (c *decodeCache) peek(pc uint32) *decEntry {
 }
 
 // decoded returns the decoded instruction entry for pc, decoding from m on a
-// cache miss.
-func (c *decodeCache) decoded(pc uint32, m *mem.Memory) (*decEntry, error) {
-	de := c.entry(pc)
+// cache miss. fresh reports a miss that actually decoded (the caller may
+// want to watch the underlying code pages for self-modification).
+func (c *decodeCache) decoded(pc uint32, m *mem.Memory) (de *decEntry, fresh bool, err error) {
+	de = c.entry(pc)
 	if de.len == 0 {
 		var buf [guest.MaxInstLen]byte
 		m.ReadBytes(uint64(pc), buf[:])
-		inst, n, err := guest.Decode(buf[:])
-		if err != nil {
-			return nil, err
+		inst, n, derr := guest.Decode(buf[:])
+		if derr != nil {
+			return nil, false, derr
 		}
 		de.inst, de.len = inst, n
+		fresh = true
 	}
-	return de, nil
+	return de, fresh, nil
+}
+
+// invalidateWrite drops every cached decode a guest store to [addr,
+// addr+size) could have changed: any entry whose encoded bytes overlap the
+// write, i.e. entries starting as far back as MaxInstLen-1 bytes before it.
+// Profiles go with the decode — the site is a different instruction now.
+// It returns the number of entries dropped.
+func (c *decodeCache) invalidateWrite(addr uint64, size int) int {
+	n := 0
+	lo := addr - (guest.MaxInstLen - 1)
+	if addr < guest.MaxInstLen-1 {
+		lo = 0
+	}
+	for a := lo; a < addr+uint64(size) && a <= 0xFFFF_FFFF; a++ {
+		if de := c.peek(uint32(a)); de != nil && de.len != 0 {
+			de.len = 0
+			de.prof = nil
+			n++
+		}
+	}
+	return n
+}
+
+// mayContain reports whether any cached decode could overlap a write to
+// [addr, addr+size) — a cheap bounds test that keeps invalidateWrite off
+// the path of ordinary data stores.
+func (c *decodeCache) mayContain(addr uint64, size int) bool {
+	if len(c.far) > 0 {
+		return true
+	}
+	lo := uint64(decDenseBase)
+	hi := lo + uint64(len(c.dense))
+	return addr+uint64(size) > lo && addr < hi+guest.MaxInstLen
 }
 
 // profAt returns the alignment profile recorded for pc, or nil if the site

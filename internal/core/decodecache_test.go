@@ -27,16 +27,19 @@ func TestDecodeCacheDenseAndFar(t *testing.T) {
 	densePC := uint32(guest.CodeBase)
 
 	for _, pc := range []uint32{densePC, farPC} {
-		de, err := c.decoded(pc, m)
+		de, fresh, err := c.decoded(pc, m)
 		if err != nil {
 			t.Fatalf("decoded(%#x): %v", pc, err)
 		}
 		if de.inst.Op != guest.MOVri || de.len == 0 {
 			t.Fatalf("decoded(%#x) = op %v len %d, want MOVri", pc, de.inst.Op, de.len)
 		}
+		if !fresh {
+			t.Fatalf("decoded(%#x) not fresh on first lookup", pc)
+		}
 		// Repeat lookups must hand back the same slot (profiles attach to it).
-		if again, _ := c.decoded(pc, m); again != de {
-			t.Fatalf("decoded(%#x) returned a different slot on repeat", pc)
+		if again, fresh2, _ := c.decoded(pc, m); again != de || fresh2 {
+			t.Fatalf("decoded(%#x) returned a different or fresh slot on repeat", pc)
 		}
 	}
 	if uint32(len(c.dense)) > decDenseLimit {
@@ -77,7 +80,7 @@ func TestDecodeCacheProfiles(t *testing.T) {
 		if got := c.profAt(pc); got != nil {
 			t.Fatalf("profAt(%#x) = %p before any profiling", pc, got)
 		}
-		de, err := c.decoded(pc, m)
+		de, _, err := c.decoded(pc, m)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"mdabt/internal/guest"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
+	"mdabt/internal/workload"
 )
 
 // The golden file pins the exact simulated behaviour (machine counters and
@@ -100,6 +101,35 @@ func equivalenceFingerprint(e *Engine) string {
 	return fmt.Sprintf("counters=%+v stats=%+v", c, e.Stats())
 }
 
+// faultEquivalencePrograms returns the guest-fault workload set for the
+// golden matrix (keys "fault:<program>|<config>"). Fault-expected runs end
+// in a delivered guest fault; the fingerprint pins the exact trap, fault,
+// and SMC counter behaviour of every mechanism on them.
+func faultEquivalencePrograms(t *testing.T) []*workload.FaultProgram {
+	t.Helper()
+	progs, err := workload.FaultPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return progs
+}
+
+// faultCensusSites is censusSites for a FaultProgram (protections applied;
+// a fault-terminated census still yields its sites).
+func faultCensusSites(t *testing.T, p *workload.FaultProgram) map[uint32]bool {
+	t.Helper()
+	m := mem.New()
+	p.Load(m)
+	c, _ := RunCensus(m, p.Entry(), 50_000_000)
+	sites := make(map[uint32]bool)
+	for pc, s := range c.Sites {
+		if s.MDA > 0 {
+			sites[pc] = true
+		}
+	}
+	return sites
+}
+
 func TestMechanismEquivalence(t *testing.T) {
 	programs := []struct {
 		name string
@@ -119,6 +149,22 @@ func TestMechanismEquivalence(t *testing.T) {
 		for _, cfg := range equivalenceConfigs(static) {
 			key := p.name + "|" + cfg.name
 			_, _, e := runDBT(t, p.img, data, cfg.opt)
+			got[key] = equivalenceFingerprint(e)
+			keys = append(keys, key)
+		}
+	}
+	for _, fp := range faultEquivalencePrograms(t) {
+		static := faultCensusSites(t, fp)
+		for _, cfg := range equivalenceConfigs(static) {
+			key := "fault:" + fp.Name + "|" + cfg.name
+			m := mem.New()
+			fp.Load(m)
+			mach := machine.New(m, machine.DefaultParams())
+			e := NewEngine(m, mach, cfg.opt)
+			rerr := e.Run(fp.Entry(), 500_000_000)
+			if fp.ExpectFault != (rerr != nil) {
+				t.Fatalf("%s: run err %v, expect-fault %v", key, rerr, fp.ExpectFault)
+			}
 			got[key] = equivalenceFingerprint(e)
 			keys = append(keys, key)
 		}
@@ -172,7 +218,11 @@ func TestMechanismEquivalence(t *testing.T) {
 // engine recycled with Engine.Reset between runs — the serving layer's
 // reuse path. Every fingerprint must match the fresh-engine golden file
 // bit for bit: a reset engine is behaviourally indistinguishable from a
-// new one, across programs AND mechanism configurations.
+// new one, across programs AND mechanism configurations. A fault-heavy
+// guest (page protections armed, run ending in a delivered guest fault) is
+// interleaved between matrix entries: its protection tables, watch pages,
+// attribution state, and pending fault must all vanish at Reset without
+// perturbing the next fingerprint.
 func TestEngineReuseEquivalence(t *testing.T) {
 	raw, err := os.ReadFile(equivalenceGoldenPath)
 	if err != nil {
@@ -198,6 +248,11 @@ func TestEngineReuseEquivalence(t *testing.T) {
 	}
 	data := patternData(256)
 
+	faulty, err := workload.GenerateStraddle(workload.StraddleStoreFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	m := mem.New()
 	mach := machine.New(m, machine.DefaultParams())
 	var e *Engine
@@ -215,6 +270,38 @@ func TestEngineReuseEquivalence(t *testing.T) {
 			m.WriteBytes(guest.DataBase, data)
 			if err := e.Run(guest.CodeBase, 500_000_000); err != nil {
 				t.Fatalf("%s: reused engine: %v", key, err)
+			}
+			w, ok := want[key]
+			if !ok {
+				t.Fatalf("%s: no golden entry", key)
+			}
+			if got := equivalenceFingerprint(e); got != w {
+				t.Errorf("%s: reused engine diverged from fresh-engine golden\n got %s\nwant %s", key, got, w)
+			}
+			ran++
+			// Dirty the engine with a fault-heavy guest before every few
+			// matrix entries: the run must end in a delivered guest fault,
+			// and the following Reset must scrub every trace of it.
+			if ran%5 == 0 {
+				e.Reset(cfg.opt)
+				faulty.Load(m)
+				ferr := e.Run(faulty.Entry(), 500_000_000)
+				if gf, ok := AsGuestFault(ferr); !ok || gf.Mem.Addr != faulty.FaultAddr {
+					t.Fatalf("%s: interleaved fault guest ended with %v, want fault at %#x", key, ferr, faulty.FaultAddr)
+				}
+			}
+		}
+	}
+	// The fault-workload half of the matrix through the same reused engine.
+	for _, fp := range faultEquivalencePrograms(t) {
+		static := faultCensusSites(t, fp)
+		for _, cfg := range equivalenceConfigs(static) {
+			key := "fault:" + fp.Name + "|" + cfg.name
+			e.Reset(cfg.opt)
+			fp.Load(m)
+			rerr := e.Run(fp.Entry(), 500_000_000)
+			if fp.ExpectFault != (rerr != nil) {
+				t.Fatalf("%s: reused engine err %v, expect-fault %v", key, rerr, fp.ExpectFault)
 			}
 			w, ok := want[key]
 			if !ok {

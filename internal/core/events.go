@@ -22,6 +22,8 @@ const (
 	EvIBTCFill                     // indirect-branch cache entry installed
 	EvFault                        // fault-injection plan fired an injection point
 	EvDegrade                      // a recovery path degraded down the ladder
+	EvGuestFault                   // guest-visible memory fault rewound/delivered
+	EvSMC                          // guest store into its own code invalidated state
 )
 
 var eventNames = [...]string{
@@ -37,6 +39,8 @@ var eventNames = [...]string{
 	EvIBTCFill:    "ibtc-fill",
 	EvFault:       "fault",
 	EvDegrade:     "degrade",
+	EvGuestFault:  "guest-fault",
+	EvSMC:         "smc",
 }
 
 // String returns the event kind name.

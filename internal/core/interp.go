@@ -15,7 +15,7 @@ func (e *Engine) interpretBlock(pc uint32) (uint32, error) {
 	e.CPU.EIP = pc
 	for n := 0; n < maxBlockInsts; n++ {
 		cur := e.CPU.EIP
-		de, err := e.dec.decoded(cur, e.Mem)
+		de, err := e.decoded(cur)
 		if err != nil {
 			return 0, fmt.Errorf("core: interpret at %#x: %w", cur, err)
 		}
@@ -25,6 +25,18 @@ func (e *Engine) interpretBlock(pc uint32) (uint32, error) {
 		}
 		e.stats.InterpretedInsts++
 		e.Mach.AddCycles(e.Opt.InterpCyclesPerInst)
+		// Self-modifying code: an interpreted store into a watched code page
+		// invalidates the stale translations and decode entries it covers.
+		// Translated stores reach here too — the write trap reroutes them to
+		// this interpreter, so this hook is the single SMC choke point.
+		if e.Mem.Armed() {
+			if info.IsMem && info.IsStore && e.Mem.WatchedRange(uint64(info.EA), info.Size) {
+				e.smcWrite(uint64(info.EA), info.Size)
+			}
+			if info.IsMem2 && info.IsStore2 && e.Mem.WatchedRange(uint64(info.EA2), info.Size2) {
+				e.smcWrite(uint64(info.EA2), info.Size2)
+			}
+		}
 		if info.IsMem && info.Size > 1 {
 			s := de.profile()
 			if info.MDA {
@@ -127,7 +139,10 @@ func (c *Census) RatioClasses() (lt, eq, gt, always int) {
 }
 
 // RunCensus interprets the program at entry until HALT (or maxInsts) and
-// returns its alignment census.
+// returns its alignment census. When the memory has page protections armed
+// and the program faults, the census collected so far is returned alongside
+// the *guest.Fault (the engine cosim tests compare this partial state
+// against the DBT's rewound state).
 func RunCensus(m *mem.Memory, entry uint32, maxInsts uint64) (*Census, error) {
 	cpu := &guest.CPU{}
 	cpu.Reset(entry)
@@ -135,15 +150,36 @@ func RunCensus(m *mem.Memory, entry uint32, maxInsts uint64) (*Census, error) {
 	// Per-site counts accumulate in the decode-cache entries (no map hit per
 	// memory reference); the Sites map is materialized once at the end.
 	var dec decodeCache
+	finish := func(err error) (*Census, error) {
+		dec.forEachProf(func(pc uint32, p *siteProfile) {
+			c.Sites[pc] = &CensusSite{PC: pc, MDA: p.mda, Aligned: p.aligned}
+		})
+		c.Halted = cpu.Halted
+		c.FinalCPU = *cpu
+		return c, err
+	}
 	for c.Insts < maxInsts && !cpu.Halted {
 		pc := cpu.EIP
-		de, err := dec.decoded(pc, m)
+		de, _, err := dec.decoded(pc, m)
 		if err != nil {
 			return nil, fmt.Errorf("core: census at %#x: %w", pc, err)
 		}
+		if m.Armed() {
+			if f := m.CheckFetch(uint64(pc), de.len); f != nil {
+				return finish(&guest.Fault{PC: pc, Mem: *f})
+			}
+		}
 		info, err := cpu.Exec(m, pc, &de.inst, de.len)
 		if err != nil {
-			return nil, err
+			return finish(err)
+		}
+		// Self-modifying code: drop decode entries a store overwrote so the
+		// next visit re-decodes the new bytes.
+		if info.IsMem && info.IsStore && dec.mayContain(uint64(info.EA), info.Size) {
+			dec.invalidateWrite(uint64(info.EA), info.Size)
+		}
+		if info.IsMem2 && info.IsStore2 && dec.mayContain(uint64(info.EA2), info.Size2) {
+			dec.invalidateWrite(uint64(info.EA2), info.Size2)
 		}
 		c.Insts++
 		if info.IsMem {
@@ -171,10 +207,5 @@ func RunCensus(m *mem.Memory, entry uint32, maxInsts uint64) (*Census, error) {
 			}
 		}
 	}
-	dec.forEachProf(func(pc uint32, p *siteProfile) {
-		c.Sites[pc] = &CensusSite{PC: pc, MDA: p.mda, Aligned: p.aligned}
-	})
-	c.Halted = cpu.Halted
-	c.FinalCPU = *cpu
-	return c, nil
+	return finish(nil)
 }

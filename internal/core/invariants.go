@@ -44,6 +44,35 @@ func (e *Engine) CheckInvariants() error {
 		}
 		spans = append(spans, span{b.hostEntry, b.hostEntry + b.hostSize, pc})
 
+		// Fault-attribution bounds: recorded in emission order, so host PCs
+		// must be non-decreasing (an instruction that emits zero host words
+		// shares its successor's start; resolveFaultSite attributes the tie
+		// to the later entry), inside the block's span, and cover every
+		// instruction index at least once (multi-version bodies record one
+		// bound per copy). A gap here would make resolveFaultSite blame a
+		// trap on the wrong guest instruction.
+		covered := make([]bool, len(b.instPCs))
+		for i, bd := range b.bounds {
+			if bd.hostPC < b.hostEntry || bd.hostPC > b.hostEntry+b.hostSize {
+				return fmt.Errorf("core: invariant: block %#x bound %d host PC %#x outside its span", pc, i, bd.hostPC)
+			}
+			if i > 0 && bd.hostPC < b.bounds[i-1].hostPC {
+				return fmt.Errorf("core: invariant: block %#x bounds decreasing at %d (%#x after %#x)",
+					pc, i, bd.hostPC, b.bounds[i-1].hostPC)
+			}
+			if bd.idx < 0 || bd.idx >= len(b.instPCs) {
+				return fmt.Errorf("core: invariant: block %#x bound %d inst index %d out of range [0,%d)",
+					pc, i, bd.idx, len(b.instPCs))
+			}
+			covered[bd.idx] = true
+		}
+		for idx, ok := range covered {
+			if !ok {
+				return fmt.Errorf("core: invariant: block %#x guest inst %d (%#x) has no attribution bound",
+					pc, idx, b.instPCs[idx])
+			}
+		}
+
 		// Per-block site records: every trap-prone host PC lies inside the
 		// block and is registered in the engine's side table.
 		for _, s := range b.sites {
@@ -67,6 +96,55 @@ func (e *Engine) CheckInvariants() error {
 		if spans[i].lo < spans[i-1].hi {
 			return fmt.Errorf("core: invariant: blocks %#x and %#x overlap in the code cache",
 				spans[i-1].pc, spans[i].pc)
+		}
+	}
+
+	// Fault-attribution span table: every live block must appear exactly
+	// once with its current geometry (spans are append-only per cache
+	// generation; invalidated blocks may linger, live ones may not drift).
+	liveSpans := make(map[*block]int)
+	for i, sp := range e.blockSpans {
+		if sp.b == nil || sp.lo >= sp.hi {
+			return fmt.Errorf("core: invariant: blockSpans[%d] malformed [%#x,%#x)", i, sp.lo, sp.hi)
+		}
+		if !sp.b.invalid {
+			liveSpans[sp.b]++
+			if sp.lo != sp.b.hostEntry || sp.hi != sp.b.hostEntry+sp.b.hostSize {
+				return fmt.Errorf("core: invariant: blockSpans[%d] [%#x,%#x) disagrees with block %#x span [%#x,%#x)",
+					i, sp.lo, sp.hi, sp.b.guestPC, sp.b.hostEntry, sp.b.hostEntry+sp.b.hostSize)
+			}
+		}
+	}
+	for pc, b := range e.blocks {
+		if n := liveSpans[b]; n != 1 {
+			return fmt.Errorf("core: invariant: live block %#x has %d fault-attribution spans, want 1", pc, n)
+		}
+	}
+
+	// Stub attribution ranges live in the allocated stub zone and name a
+	// valid instruction of their block.
+	for i, sr := range e.stubRanges {
+		if sr.lo < cc.stubNext || sr.hi > cc.base+cc.size || sr.lo >= sr.hi {
+			return fmt.Errorf("core: invariant: stubRanges[%d] [%#x,%#x) outside the stub zone [%#x,%#x)",
+				i, sr.lo, sr.hi, cc.stubNext, cc.base+cc.size)
+		}
+		if sr.b == nil || sr.idx < 0 || sr.idx >= len(sr.b.instPCs) {
+			return fmt.Errorf("core: invariant: stubRanges[%d] names inst %d of a %d-inst block", i, sr.idx, len(sr.b.instPCs))
+		}
+	}
+
+	// The fault pad must still hold its BRKBT(svcFault) word: every precise
+	// guest-fault delivery funnels through it.
+	if err := e.faultPadIntact(); err != nil {
+		return fmt.Errorf("core: invariant: %w", err)
+	}
+
+	// Every page the engine decoded guest code from must still be watched —
+	// an unwatched code page would let self-modifying stores run stale
+	// translations.
+	for p := range e.codePages {
+		if !e.Mem.Watched(p) {
+			return fmt.Errorf("core: invariant: decoded code page %#x is not write-watched", p)
 		}
 	}
 

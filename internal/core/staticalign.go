@@ -15,10 +15,13 @@ import (
 // CheckInvariants, Engine.Lint, and `dbtrun -lint`.
 
 // buildAlignDB runs the whole-program alignment analysis from entry,
-// through the engine's decode cache, and charges its modeled cost.
+// through the engine's decode cache, and charges its modeled cost. It goes
+// through the watching decode wrapper: every page the analysis touches can
+// later be translated from its cached entry, so it must be armed for
+// self-modifying stores like any other decoded code page.
 func (e *Engine) buildAlignDB(entry uint32) {
 	dec := func(pc uint32) (guest.Inst, int, error) {
-		de, err := e.dec.decoded(pc, e.Mem)
+		de, err := e.decoded(pc)
 		if err != nil {
 			return guest.Inst{}, 0, err
 		}
@@ -93,6 +96,10 @@ func (e *Engine) verifyBlock(b *block) []align.Finding {
 	for _, ex := range b.exits {
 		exits[ex.hostPC] = ex
 	}
+	bounds := make([]uint64, len(b.bounds))
+	for i, bd := range b.bounds {
+		bounds[i] = bd.hostPC
+	}
 	return align.Verify(align.HostBlock{
 		Entry:     b.hostEntry,
 		Words:     words,
@@ -100,6 +107,7 @@ func (e *Engine) verifyBlock(b *block) []align.Finding {
 		Proven:    b.alignedPCs,
 		Guarded:   b.guardedPCs,
 		Patched:   patched,
+		Bounds:    bounds,
 		CheckBranch: func(pc, target uint64) error {
 			if ex, ok := exits[pc]; ok {
 				// A chained exit must branch to its target's current entry.

@@ -45,7 +45,7 @@ func (p sitePolicy) String() string {
 func (e *Engine) decodeBlock(pc uint32) (insts []guest.Inst, lens []int, pcs []uint32, err error) {
 	cur := pc
 	for len(insts) < maxBlockInsts {
-		de, derr := e.dec.decoded(cur, e.Mem)
+		de, derr := e.decoded(cur)
 		if derr != nil {
 			return nil, nil, nil, fmt.Errorf("core: decode block at %#x: %w", cur, derr)
 		}
@@ -696,12 +696,17 @@ func (em *emitter) inst(idx int, pc uint32, nextPC uint32) error {
 	return nil
 }
 
-// emitRange emits the instructions in [from, to).
+// emitRange emits the instructions in [from, to). On the recording pass it
+// also records each instruction's host start address (block.bounds) for
+// fault attribution — pure metadata, so both passes stay length-invariant.
 func (em *emitter) emitRange(from, to int) error {
 	b := em.b
 	for idx := from; idx < to; idx++ {
 		pc := b.instPCs[idx]
 		next := pc + uint32(b.instLens[idx])
+		if em.record {
+			b.bounds = append(b.bounds, instBound{hostPC: em.a.PC(), idx: idx})
+		}
 		if err := em.inst(idx, pc, next); err != nil {
 			return err
 		}
@@ -945,6 +950,7 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 		}
 	}
 	e.blocks[pc] = b
+	e.blockSpans = append(e.blockSpans, blockSpan{lo: addr, hi: addr + size, b: b})
 	e.event(EvTranslate, pc, addr, fmt.Sprintf("%d insts, %d blocks", len(insts), nblocks))
 	e.stats.BlocksTranslated++
 	if nblocks > 1 {

@@ -42,7 +42,7 @@ func runExp(t *testing.T, id string) *Result {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "table4", "adaptive", "ablation-chaining", "ablation-ibtc", "ablation-superblocks", "staticalign", "sitehist", "speh"}
+	want := []string{"table1", "table2", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "table4", "adaptive", "ablation-chaining", "ablation-ibtc", "ablation-superblocks", "staticalign", "sitehist", "speh", "faults"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -57,6 +57,29 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(SortedIDs()) != len(want) {
 		t.Error("SortedIDs wrong length")
+	}
+}
+
+func TestFaultStudyShape(t *testing.T) {
+	r := runExp(t, "faults")
+	if len(r.Names) != 4 {
+		t.Fatalf("faults has %d rows, want 4", len(r.Names))
+	}
+	for _, name := range []string{"straddle-store-fault", "straddle-load-unmapped"} {
+		if v := r.Value("guest-faults", name); v != 1 {
+			t.Errorf("%s delivered %v guest faults, want exactly 1", name, v)
+		}
+	}
+	for _, name := range []string{"straddle-ok", "smc-rewrite"} {
+		if v := r.Value("guest-faults", name); v != 0 {
+			t.Errorf("%s delivered %v guest faults, want 0", name, v)
+		}
+	}
+	if v := r.Value("smc-invals", "smc-rewrite"); v == 0 {
+		t.Error("smc-rewrite triggered no code-page invalidations under dpeh")
+	}
+	if v := r.Value("traps(eh)", "straddle-ok"); v == 0 {
+		t.Error("straddle-ok took no misalignment traps under eh")
 	}
 }
 

@@ -51,6 +51,11 @@ const (
 	// DuplicateTrap redelivers a misalignment trap after its handler has
 	// already run once.
 	DuplicateTrap Point = "machine.duplicate-trap"
+	// SpuriousAccessFault delivers an access-protection trap on an access
+	// that the trap-bit table did not flag. The BT's access-fault handler
+	// must treat it as a table false positive: re-execute the access raw
+	// and resume. Safe even with no protections armed.
+	SpuriousAccessFault Point = "machine.spurious-access-fault"
 	// ServeTransient fails a pooled request with a Transient error before
 	// its engine runs (simulating momentary resource exhaustion in the
 	// serving layer); the pool's retry/backoff path absorbs it.
@@ -64,7 +69,7 @@ const (
 func Points() []Point {
 	return []Point{
 		AllocBlock, AllocStub, Translate, PatchRange,
-		ForcedFlush, SpuriousTrap, DuplicateTrap,
+		ForcedFlush, SpuriousTrap, DuplicateTrap, SpuriousAccessFault,
 		ServeTransient, ServePanic,
 	}
 }

@@ -137,6 +137,11 @@ func (c *CPU) Step(m *mem.Memory) (StepInfo, error) {
 	if err != nil {
 		return StepInfo{}, fmt.Errorf("guest: step at %#x: %w", c.EIP, err)
 	}
+	if m.Armed() {
+		if mf := m.CheckFetch(uint64(c.EIP), n); mf != nil {
+			return StepInfo{}, &Fault{PC: c.EIP, Mem: *mf}
+		}
+	}
 	info, err := c.Exec(m, c.EIP, &inst, n)
 	return info, err
 }
@@ -145,11 +150,30 @@ func (c *CPU) Step(m *mem.Memory) (StepInfo, error) {
 // length n. EIP is advanced (or redirected for branches). The instruction is
 // taken by pointer so cached decodes are executed without copying; Exec never
 // mutates it.
+//
+// Exec is fault-precise: when the memory has protections armed, every data
+// access is checked before any architectural state is mutated, and a
+// violation returns a *Fault with the CPU exactly in its pre-instruction
+// state — EIP on the faulting instruction, ESP undisturbed, zero store
+// bytes committed.
 func (c *CPU) Exec(m *mem.Memory, pc uint32, inst *Inst, n int) (StepInfo, error) {
 	info := StepInfo{PC: pc, Op: inst.Op, Len: n}
 	next := pc + uint32(n)
 	c.EIP = next
 
+	// check validates an access before it (or any other side effect of the
+	// instruction) happens; on a violation it rewinds EIP and builds the
+	// guest fault.
+	check := func(ea uint32, size int, store bool) *Fault {
+		if !m.Armed() {
+			return nil
+		}
+		if mf := m.CheckRange(uint64(ea), size, store); mf != nil {
+			c.EIP = pc
+			return &Fault{PC: pc, Mem: *mf}
+		}
+		return nil
+	}
 	access := func(ea uint32, size int, store bool) {
 		info.IsMem = true
 		info.EA = ea
@@ -157,16 +181,25 @@ func (c *CPU) Exec(m *mem.Memory, pc uint32, inst *Inst, n int) (StepInfo, error
 		info.IsStore = store
 		info.MDA = IsMDA(ea, size)
 	}
-	push := func(v uint32) {
-		c.R[ESP] -= 4
-		access(c.R[ESP], 4, true)
-		m.Write32(uint64(c.R[ESP]), v)
+	push := func(v uint32) *Fault {
+		ea := c.R[ESP] - 4
+		if f := check(ea, 4, true); f != nil {
+			return f
+		}
+		c.R[ESP] = ea
+		access(ea, 4, true)
+		m.Write32(uint64(ea), v)
+		return nil
 	}
-	pop := func() uint32 {
-		v := m.Read32(uint64(c.R[ESP]))
-		access(c.R[ESP], 4, false)
+	pop := func() (uint32, *Fault) {
+		ea := c.R[ESP]
+		if f := check(ea, 4, false); f != nil {
+			return 0, f
+		}
+		v := m.Read32(uint64(ea))
+		access(ea, 4, false)
 		c.R[ESP] += 4
-		return v
+		return v, nil
 	}
 
 	switch inst.Op {
@@ -182,42 +215,72 @@ func (c *CPU) Exec(m *mem.Memory, pc uint32, inst *Inst, n int) (StepInfo, error
 
 	case LD4:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 4, false); f != nil {
+			return info, f
+		}
 		access(ea, 4, false)
 		c.R[inst.R1] = m.Read32(uint64(ea))
 	case LD2Z:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 2, false); f != nil {
+			return info, f
+		}
 		access(ea, 2, false)
 		c.R[inst.R1] = uint32(m.Read16(uint64(ea)))
 	case LD2S:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 2, false); f != nil {
+			return info, f
+		}
 		access(ea, 2, false)
 		c.R[inst.R1] = uint32(int32(int16(m.Read16(uint64(ea)))))
 	case LD1Z:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 1, false); f != nil {
+			return info, f
+		}
 		access(ea, 1, false)
 		c.R[inst.R1] = uint32(m.Read8(uint64(ea)))
 	case LD1S:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 1, false); f != nil {
+			return info, f
+		}
 		access(ea, 1, false)
 		c.R[inst.R1] = uint32(int32(int8(m.Read8(uint64(ea)))))
 	case ST4:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 4, true); f != nil {
+			return info, f
+		}
 		access(ea, 4, true)
 		m.Write32(uint64(ea), c.R[inst.R1])
 	case ST2:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 2, true); f != nil {
+			return info, f
+		}
 		access(ea, 2, true)
 		m.Write16(uint64(ea), uint16(c.R[inst.R1]))
 	case ST1:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 1, true); f != nil {
+			return info, f
+		}
 		access(ea, 1, true)
 		m.Write8(uint64(ea), uint8(c.R[inst.R1]))
 	case FLD8:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 8, false); f != nil {
+			return info, f
+		}
 		access(ea, 8, false)
 		c.F[inst.FR1] = m.Read64(uint64(ea))
 	case FST8:
 		ea := c.EA(inst.Mem)
+		if f := check(ea, 8, true); f != nil {
+			return info, f
+		}
 		access(ea, 8, true)
 		m.Write64(uint64(ea), c.F[inst.FR1])
 
@@ -276,6 +339,15 @@ func (c *CPU) Exec(m *mem.Memory, pc uint32, inst *Inst, n int) (StepInfo, error
 			break
 		}
 		src, dst := c.R[ESI], c.R[EDI]
+		// Check both halves of the copy before either commits: a faulting
+		// step leaves ESI/EDI/ECX at the values that name the faulting
+		// dword, which is exactly the resumable-REP architecture.
+		if f := check(src, 4, false); f != nil {
+			return info, f
+		}
+		if f := check(dst, 4, true); f != nil {
+			return info, f
+		}
 		access(src, 4, false)
 		info.IsMem2 = true
 		info.EA2 = dst
@@ -297,14 +369,26 @@ func (c *CPU) Exec(m *mem.Memory, pc uint32, inst *Inst, n int) (StepInfo, error
 			c.EIP = next + uint32(inst.Rel)
 		}
 	case CALL:
-		push(next)
+		if f := push(next); f != nil {
+			return info, f
+		}
 		c.EIP = next + uint32(inst.Rel)
 	case RET:
-		c.EIP = pop()
+		v, f := pop()
+		if f != nil {
+			return info, f
+		}
+		c.EIP = v
 	case PUSH:
-		push(c.R[inst.R1])
+		if f := push(c.R[inst.R1]); f != nil {
+			return info, f
+		}
 	case POP:
-		c.R[inst.R1] = pop()
+		v, f := pop()
+		if f != nil {
+			return info, f
+		}
+		c.R[inst.R1] = v
 
 	default:
 		return info, fmt.Errorf("guest: exec: unhandled op %v", inst.Op)

@@ -1,0 +1,46 @@
+package guest
+
+import (
+	"fmt"
+
+	"mdabt/internal/mem"
+)
+
+// Fault is a guest-visible memory fault: a data access or instruction
+// fetch by the instruction at PC that violated the page protections
+// (internal/mem). The interpreter raises it precisely — architectural
+// state is exactly the pre-instruction state, with zero bytes of a
+// faulting store committed — so the DBT can deliver the identical fault
+// from translated code by rewinding to the faulting guest instruction and
+// re-executing it under the interpreter.
+type Fault struct {
+	PC  uint32    // guest PC of the faulting instruction
+	Mem mem.Fault // underlying page fault
+}
+
+// Error renders the fault with its guest context.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("guest fault at pc %#x: %v", f.PC, &f.Mem)
+}
+
+// Flag replay for the DBT's precise-fault hand-off. Translated code keeps
+// guest flags implicit (the translator materializes conditions from the
+// dominating CMP/TEST), so when the engine rewinds to a faulting
+// instruction mid-block it must reconstruct the architectural flags from
+// the register state. These helpers replay the three producer shapes the
+// ISA has; the translator's own flag tracking guarantees any condition
+// consumed after the rewind point is derivable from them (see
+// core.reconstructFlags).
+
+// SetCmpFlags replays CMP a, b: full subtract flags, result discarded.
+func (c *CPU) SetCmpFlags(a, b uint32) { c.setSubFlags(a, b) }
+
+// SetTestFlags replays TEST/AND/OR/XOR flags for result v: ZF/SF from v,
+// CF and OF cleared.
+func (c *CPU) SetTestFlags(v uint32) { c.setLogicFlags(v) }
+
+// SetResultFlags replays the ZF/SF of an ADD/SUB result v. CF and OF are
+// cleared rather than reconstructed: the translator only lets E/NE/S/NS
+// conditions consume arithmetic results, so the carry and overflow bits
+// are unobservable past a rewind point.
+func (c *CPU) SetResultFlags(v uint32) { c.setLogicFlags(v) }

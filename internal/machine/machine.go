@@ -26,6 +26,11 @@ type Params struct {
 	// MisalignTrapCycles is charged for every misaligned-access trap before
 	// the handler runs (kernel entry/exit, context save, dispatch).
 	MisalignTrapCycles uint64
+	// AccessFaultCycles is charged for every access-protection trap (page
+	// protection violation, watched-page store, or trap-table guard hit)
+	// before the access-fault handler runs. Same kernel round trip as a
+	// misalignment trap.
+	AccessFaultCycles uint64
 	// LoadExtraCycles is the additional latency of a load beyond the base
 	// cycle (in-order pipeline load-use approximation).
 	LoadExtraCycles uint64
@@ -56,6 +61,7 @@ type Params struct {
 func DefaultParams() Params {
 	return Params{
 		MisalignTrapCycles: 1000,
+		AccessFaultCycles:  1000,
 		LoadExtraCycles:    2,
 		MulExtraCycles:     7,
 		TakenBranchCycles:  1,
@@ -72,6 +78,7 @@ type Counters struct {
 	Loads         uint64
 	Stores        uint64
 	MisalignTraps uint64 // misaligned-access traps taken
+	AccessFaults  uint64 // access-protection traps taken
 	Brks          uint64 // BRKBT exits to the runtime
 	TrapCycles    uint64 // cycles spent in trap overhead + handlers
 }
@@ -109,6 +116,15 @@ const HaltService = 0
 // patches code (BT-style, paper §IV) and resumes at pc.
 type MisalignHandler func(m *Machine, pc uint64, inst host.Inst, ea uint64) (resume uint64)
 
+// AccessFaultHandler is the registered handler for access-protection traps
+// (mem.AccessTrap hits and injected spurious faults). It runs after the
+// architectural trap cost has been charged and returns the resume PC. The
+// trapped access has NOT been performed; a handler that decides the access
+// is legal completes it itself (Machine.PerformAccess) and resumes at
+// pc+4. The trap-bit table is a superset filter, so handlers must tolerate
+// false positives.
+type AccessFaultHandler func(m *Machine, pc uint64, inst host.Inst, ea uint64) (resume uint64)
+
 // Machine is the simulated host processor plus memory system.
 type Machine struct {
 	Mem    *mem.Memory
@@ -117,8 +133,9 @@ type Machine struct {
 	regs [host.NumRegs]uint64
 	pc   uint64
 
-	caches  *cache.Hierarchy
-	handler MisalignHandler
+	caches        *cache.Hierarchy
+	handler       MisalignHandler
+	accessHandler AccessFaultHandler
 	// faults, when non-nil, injects trap-delivery anomalies: spurious
 	// misalignment traps on aligned accesses and duplicate delivery of a
 	// trap the handler already serviced. Both are safe against a correct
@@ -238,6 +255,11 @@ func (m *Machine) SetReg(r host.Reg, v uint64) {
 // SetMisalignHandler registers the misalignment trap handler. A nil handler
 // restores the default OS-style behaviour: emulate the access and continue.
 func (m *Machine) SetMisalignHandler(h MisalignHandler) { m.handler = h }
+
+// SetAccessFaultHandler registers the access-protection trap handler. A
+// nil handler restores the default behaviour: perform the access raw and
+// continue (no one owns the protections).
+func (m *Machine) SetAccessFaultHandler(h AccessFaultHandler) { m.accessHandler = h }
 
 // SetFaultPlan installs a fault-injection plan for trap delivery. A nil
 // plan (the default) disables injection.
@@ -461,7 +483,24 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 				if inst.Op == host.LDQU || inst.Op == host.STQU {
 					access = ea &^ 7
 				}
-				if inst.Op.IsStore() {
+				isStore := inst.Op.IsStore()
+				// Access-protection trap: the dense trap-bit table filters
+				// protected, watched, and guard pages; the real check runs
+				// first so genuinely trapping accesses never consult the
+				// injection stream.
+				if m.Mem.AccessTrap(access, size, isStore) ||
+					(m.faults != nil && m.faults.Should(faultinject.SpuriousAccessFault)) {
+					m.pc = pc
+					m.counters.Insts, m.counters.Cycles = insts, cycles
+					m.slotOpen = slotOpen
+					m.accessTrap(*inst, ea)
+					// The handler may have redirected the PC and charged cycles.
+					pc = m.pc
+					insts, cycles = m.counters.Insts, m.counters.Cycles
+					curLine, curLineID = m.curLine, m.curLineID
+					continue
+				}
+				if isStore {
 					m.counters.Stores++
 					m.Mem.Write(access, m.Reg(inst.Ra), size)
 				} else {
@@ -563,4 +602,50 @@ func (m *Machine) misalignTrap(inst host.Inst, ea uint64) {
 			return
 		}
 	}
+}
+
+// accessTrap charges the access-fault trap cost and dispatches to the
+// access-fault handler. Unlike misalignTrap there is no duplicate
+// redelivery: the handler does not complete the access in place, so a
+// replay would observe post-handler state.
+func (m *Machine) accessTrap(inst host.Inst, ea uint64) {
+	pc := m.pc
+	m.counters.AccessFaults++
+	m.counters.Cycles += m.Params.AccessFaultCycles
+	m.counters.TrapCycles += m.Params.AccessFaultCycles
+	if m.accessHandler != nil {
+		m.pc = m.accessHandler(m, pc, inst, ea)
+		if m.pc%host.InstBytes != 0 {
+			panic(fmt.Sprintf("machine: access-fault handler returned misaligned pc %#x", m.pc))
+		}
+		return
+	}
+	// Default: nobody owns the protections (bare machine, or a spurious
+	// injection with no BT attached) — complete the access and continue.
+	m.PerformAccess(inst, ea)
+	m.pc = pc + host.InstBytes
+}
+
+// PerformAccess executes inst's memory access at ea exactly as the Run
+// loop would — including the quadword masking of LDQU/STQU and the LDL
+// sign extension — charging the load/store counter but no cycles. The BT's
+// access-fault handler uses it to complete an access the trap-bit table
+// flagged as a false positive.
+func (m *Machine) PerformAccess(inst host.Inst, ea uint64) {
+	access := ea
+	if inst.Op == host.LDQU || inst.Op == host.STQU {
+		access = ea &^ 7
+	}
+	size := inst.Op.MemSize()
+	if inst.Op.IsStore() {
+		m.counters.Stores++
+		m.Mem.Write(access, m.Reg(inst.Ra), size)
+		return
+	}
+	m.counters.Loads++
+	v := m.Mem.Read(access, size)
+	if inst.Op == host.LDL {
+		v = uint64(int64(int32(v)))
+	}
+	m.SetReg(inst.Ra, v)
 }

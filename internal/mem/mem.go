@@ -54,6 +54,10 @@ type Memory struct {
 	dense  [l1Entries]*l2table
 	high   map[uint64]*page // pages at/above denseLimit, by page index
 	npages int
+
+	// Page protections, store watches, and the machine trap-bit table
+	// (prot.go). Zero value: everything mapped rwx, nothing watched.
+	protState
 }
 
 // New returns an empty memory.
@@ -337,6 +341,7 @@ func (m *Memory) Reset() {
 	for _, p := range m.high {
 		clear(p[:])
 	}
+	m.resetProt()
 }
 
 // Pages reports the number of allocated pages (for footprint accounting).

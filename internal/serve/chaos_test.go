@@ -120,12 +120,14 @@ func chaosEnginePlan() *faultinject.Plan {
 		faultinject.AllocBlock, faultinject.AllocStub, faultinject.Translate,
 		faultinject.PatchRange, faultinject.ForcedFlush,
 		faultinject.SpuriousTrap, faultinject.DuplicateTrap,
+		faultinject.SpuriousAccessFault,
 	} {
 		p.Rate(pt, 0.02)
 	}
 	// Guarantee early occurrences regardless of how short a run is.
 	p.At(faultinject.Translate, 1)
 	p.At(faultinject.ForcedFlush, 2)
+	p.At(faultinject.SpuriousAccessFault, 3)
 	return p
 }
 
@@ -254,6 +256,7 @@ func TestChaosPoolMatchesSerial(t *testing.T) {
 		faultinject.AllocBlock, faultinject.AllocStub, faultinject.Translate,
 		faultinject.PatchRange, faultinject.ForcedFlush,
 		faultinject.SpuriousTrap, faultinject.DuplicateTrap,
+		faultinject.SpuriousAccessFault,
 	} {
 		if fired[pt] == 0 {
 			t.Errorf("engine point %s never fired", pt)
@@ -278,6 +281,206 @@ func TestChaosPoolMatchesSerial(t *testing.T) {
 
 func fingerprintOf(r *Result) string {
 	return fmt.Sprintf("cpu=%+v counters=%+v stats=%+v", r.CPU, r.Counters, r.Stats)
+}
+
+// faultEnginePlan is the engine fault parent for the guest-fault serve
+// suite: a thinner mix than chaosEnginePlan (the fault workloads are
+// longer-running), with guaranteed spurious access faults so the
+// protection-trap disambiguation path fires alongside real guest faults.
+func faultEnginePlan() *faultinject.Plan {
+	p := faultinject.New(chaosSeed + 3)
+	for _, pt := range []faultinject.Point{
+		faultinject.Translate, faultinject.ForcedFlush,
+		faultinject.SpuriousTrap, faultinject.DuplicateTrap,
+		faultinject.SpuriousAccessFault,
+	} {
+		p.Rate(pt, 0.01)
+	}
+	p.At(faultinject.SpuriousAccessFault, 2, 6)
+	return p
+}
+
+// TestServeGuestFaults drives the guest-fault workload set (page-straddling
+// MDA against protected/unmapped pages, the self-modifying rewriter)
+// through the pooled serving layer under serve- and engine-level chaos.
+// Every request gets a response; a faulting guest surfaces as a Permanent
+// classified error carrying the precise guest PC and fault address —
+// identical to a dedicated serial engine's — and never as an Internal
+// error or an escaped panic. Success-expected programs must produce
+// fingerprints bit-identical to serial replays on the recycled engines.
+func TestServeGuestFaults(t *testing.T) {
+	fps, err := workload.FaultPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type mech struct {
+		name string
+		opt  core.Options
+	}
+	dpeh := core.DefaultOptions(core.DPEH)
+	dpeh.HeatThreshold = 3
+	mechs := []mech{
+		{"eh", core.DefaultOptions(core.ExceptionHandling)},
+		{"direct", core.DefaultOptions(core.Direct)},
+		{"dpeh", dpeh},
+	}
+	type fcase struct {
+		name string
+		prog *workload.FaultProgram
+		opt  core.Options
+	}
+	var cases []fcase
+	for _, p := range fps {
+		for _, m := range mechs {
+			cases = append(cases, fcase{p.Name + "|" + m.name, p, m.opt})
+		}
+	}
+
+	const sessions = 6
+	perSession := 8
+	if testing.Short() {
+		perSession = 2
+	}
+	numRequests := sessions * perSession
+
+	serveChaos := faultinject.New(chaosSeed+2).
+		Rate(faultinject.ServeTransient, 0.15).
+		Rate(faultinject.ServePanic, 0.05).
+		At(faultinject.ServeTransient, 1).
+		At(faultinject.ServePanic, 3)
+
+	srv := NewServer(ServerOptions{
+		Pool: Options{
+			Workers: 6, Queue: 16, Retries: 2,
+			RetryBase: 100 * time.Microsecond, RetryCap: time.Millisecond,
+			BreakerThreshold: -1,
+			Chaos:            serveChaos,
+			Seed:             chaosSeed + 2,
+		},
+		Budget: 500_000_000,
+	})
+	defer srv.Close()
+
+	parent := faultEnginePlan()
+	reqs := make([]Request, numRequests)
+	for i := range reqs {
+		c := cases[i%len(cases)]
+		opt := c.opt
+		opt.FaultPlan = parent.Fork(i)
+		p := c.prog
+		reqs[i] = Request{
+			Load:    func(m *mem.Memory) uint32 { p.Load(m); return p.Entry() },
+			Options: &opt,
+		}
+	}
+
+	// serial replays request i on a dedicated fresh engine with an
+	// identically-forked fault plan.
+	serial := func(i int) (string, *guest.Fault, error) {
+		c := cases[i%len(cases)]
+		opt := c.opt
+		opt.FaultPlan = faultEnginePlan().Fork(i)
+		m := mem.New()
+		mach := machine.New(m, machine.DefaultParams())
+		e := core.NewEngine(m, mach, opt)
+		c.prog.Load(m)
+		rerr := e.RunContext(context.Background(), c.prog.Entry(), 500_000_000)
+		fp := fmt.Sprintf("cpu=%+v counters=%+v stats=%+v", e.FinalCPU(), mach.Counters(), e.Stats())
+		gf, _ := core.AsGuestFault(rerr)
+		return fp, gf, rerr
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	outcomes := make([]outcome, numRequests)
+	responded := make([]bool, numRequests)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < perSession; k++ {
+				i := s*perSession + k
+				res, err := srv.Do(context.Background(), reqs[i])
+				outcomes[i] = outcome{res, err}
+				responded[i] = true
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	faulted, completed := 0, 0
+	for i, o := range outcomes {
+		if !responded[i] {
+			t.Fatalf("request %d lost: no response", i)
+		}
+		c := cases[i%len(cases)]
+		label := fmt.Sprintf("request %d (%s)", i, c.name)
+		if o.err != nil {
+			switch {
+			case core.IsInternal(o.err) && strings.Contains(o.err.Error(), "injected panic"):
+				continue
+			case core.IsTransient(o.err) && strings.Contains(o.err.Error(), "injected transient"):
+				continue
+			}
+			if !c.prog.ExpectFault {
+				t.Errorf("%s: unexpected failure %v", label, o.err)
+				continue
+			}
+			if core.IsInternal(o.err) {
+				t.Errorf("%s: guest fault surfaced as Internal: %v", label, o.err)
+			}
+			if core.Classify(o.err) != core.Permanent {
+				t.Errorf("%s: guest fault classified %v, want Permanent", label, core.Classify(o.err))
+			}
+			gf, ok := core.AsGuestFault(o.err)
+			if !ok {
+				t.Errorf("%s: error %v carries no guest fault", label, o.err)
+				continue
+			}
+			if gf.Mem.Addr != c.prog.FaultAddr || gf.Mem.Write != c.prog.FaultWrite {
+				t.Errorf("%s: fault %v, want addr %#x write %v", label, o.err, c.prog.FaultAddr, c.prog.FaultWrite)
+			}
+			_, refGF, rerr := serial(i)
+			if refGF == nil {
+				t.Fatalf("%s: serial replay ended with %v, want a guest fault", label, rerr)
+			}
+			if gf.PC != refGF.PC || gf.Mem != refGF.Mem {
+				t.Errorf("%s: pooled fault %v, serial replay %v", label, o.err, rerr)
+			}
+			faulted++
+			continue
+		}
+		if c.prog.ExpectFault {
+			t.Errorf("%s: run completed, want guest fault at %#x", label, c.prog.FaultAddr)
+			continue
+		}
+		completed++
+		fp, _, serr := serial(i)
+		if serr != nil {
+			t.Fatalf("%s: serial replay failed: %v", label, serr)
+		}
+		if got := fingerprintOf(o.res); got != fp {
+			t.Errorf("%s: pooled result diverged from serial replay\n pooled %s\n serial %s", label, got, fp)
+		}
+	}
+	if faulted == 0 {
+		t.Error("no request surfaced a guest fault; the mix never exercised the fault path")
+	}
+	if completed == 0 {
+		t.Error("no success-expected request completed")
+	}
+	h := srv.Health()
+	if h.Submitted != uint64(numRequests) {
+		t.Errorf("health.Submitted = %d, want %d", h.Submitted, numRequests)
+	}
+	if h.Completed+h.Failed != uint64(numRequests) {
+		t.Errorf("health: completed %d + failed %d != %d", h.Completed, h.Failed, numRequests)
+	}
+	t.Logf("guest-fault chaos: %d faulted, %d completed, %d retries, %d recovered panics",
+		faulted, completed, h.Retries, h.Panics)
 }
 
 // TestServeDeadline: a request deadline aborts within one budget slice
