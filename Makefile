@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_COUNT ?= 10
 
-.PHONY: all build test race bench bench-smoke bench-json fmt vet mech-smoke serve-chaos fault-chaos
+.PHONY: all build test race bench bench-smoke bench-json fmt vet lint mech-smoke serve-chaos fault-chaos
 
 all: build test
 
@@ -54,3 +54,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when the binary is on PATH
+# (CI installs it, local runs degrade gracefully).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi

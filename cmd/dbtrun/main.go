@@ -55,6 +55,7 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "enable §IV-D adaptive sites (DPEH)")
 	superblocks := flag.Bool("superblocks", false, "enable phase-2 trace formation (DPEH/dynprof)")
 	staticalign := flag.Bool("staticalign", false, "layer the static alignment analysis over the mechanism")
+	aotFlag := flag.Bool("aot", false, "pre-translate the whole binary ahead of time from the recovered CFG (implies -staticalign)")
 	lint := flag.Bool("lint", false, "run the translation verifier over every emitted block after the run")
 	profileOut := flag.String("profile-out", "", "run a training census and write the profile database (JSON) here, then exit")
 	profileIn := flag.String("profile-in", "", "load a stored profile database for the static mechanism")
@@ -90,7 +91,13 @@ func main() {
 	opt.IBTC = *ibtc
 	opt.Adaptive = *adaptive
 	opt.Superblocks = *superblocks
-	opt.StaticAlign = *staticalign
+	// The aot mechanism's DefaultOptions pre-sets AOT and StaticAlign; the
+	// flags add the layers over other bases without clearing those.
+	opt.StaticAlign = *staticalign || opt.StaticAlign
+	if *aotFlag {
+		opt.AOT = true
+		opt.StaticAlign = true
+	}
 	opt.SelfCheck = *selfcheck
 	if *faultRate < 0 || *faultRate > 1 {
 		fail("-fault-rate must be in [0,1]")
@@ -241,10 +248,14 @@ func main() {
 	if opt.FaultPlan != nil {
 		fmt.Printf("injected faults:  %d (%s)\n", s.InjectedFaults, opt.FaultPlan)
 	}
-	if *staticalign {
+	if opt.StaticAlign {
 		fmt.Printf("static-align:     analyzed=%d sites aligned=%d misaligned=%d unknown=%d violations=%d\n",
 			s.StaticAnalyzedInsts, s.StaticAlignedSites, s.StaticMisalignedSites,
 			s.StaticUnknownSites, s.StaticAlignViolations)
+	}
+	if opt.AOT {
+		fmt.Printf("aot:              %d blocks pre-translated, %d hits, %d jit fallbacks\n",
+			s.AOTBlocks, s.AOTHits, s.AOTFallbacks)
 	}
 	if *lint {
 		findings := eng.Lint()

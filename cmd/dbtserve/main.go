@@ -18,6 +18,13 @@
 //	                guest-visible memory fault returns HTTP 422 with the
 //	                faulting guest PC and address in "guest_fault".
 //	GET  /healthz — pool health snapshot (503 while draining).
+//	GET  /statsz  — cumulative serving counters, including AOT cache hits
+//	                vs JIT fallbacks (cold-start observability).
+//
+// Requests running the "aot" mechanism on a benchmark adopt a cached
+// ahead-of-time image (built once per benchmark): the engine pre-seeds its
+// code cache from the image at Reset/Run, so repeat requests for a known
+// binary perform zero dynamic block translations.
 //
 // SIGINT/SIGTERM drains in-flight requests (bounded) before exiting.
 package main
@@ -33,9 +40,11 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"mdabt/internal/aot"
 	"mdabt/internal/core"
 	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
@@ -73,6 +82,13 @@ type runResponse struct {
 	Worker        int       `json:"worker"`
 	ElapsedMS     float64   `json:"elapsed_ms"`
 	Regs          [8]uint32 `json:"regs"`
+	// AOT tier counters (present on "aot"-mechanism runs): blocks
+	// pre-translated offline, dispatches served from them, and dynamic
+	// translations the engine still performed. A warm request on a known
+	// image reports translated_blocks and jit_fallbacks of zero.
+	AOTBlocks    uint64 `json:"aot_blocks,omitempty"`
+	AOTHits      uint64 `json:"aot_hits,omitempty"`
+	JITFallbacks uint64 `json:"jit_fallbacks,omitempty"`
 }
 
 type errorResponse struct {
@@ -98,12 +114,23 @@ type app struct {
 	mech     core.Mechanism
 	deadline time.Duration
 
-	mu    sync.Mutex
-	progs map[string]*workload.Program // benchmark model cache
+	mu     sync.Mutex
+	progs  map[string]*workload.Program // benchmark model cache
+	images map[string]*aot.Image        // ahead-of-time image cache, per benchmark
+
+	// Cumulative serving counters (GET /statsz), updated atomically.
+	runs         atomic.Uint64 // successful /run executions
+	aotRuns      atomic.Uint64 // runs served under the aot mechanism
+	aotHits      atomic.Uint64 // dispatches into pre-translated blocks
+	jitFallbacks atomic.Uint64 // dynamic translations despite AOT
 }
 
 func newApp(srv *serve.Server, mech core.Mechanism, deadline time.Duration) *app {
-	return &app{srv: srv, mech: mech, deadline: deadline, progs: make(map[string]*workload.Program)}
+	return &app{
+		srv: srv, mech: mech, deadline: deadline,
+		progs:  make(map[string]*workload.Program),
+		images: make(map[string]*aot.Image),
+	}
 }
 
 // mux returns the HTTP routing table (shared by main and the tests).
@@ -111,6 +138,7 @@ func (a *app) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("/run", a.handleRun)
 	m.HandleFunc("/healthz", a.handleHealth)
+	m.HandleFunc("/statsz", a.handleStats)
 	return m
 }
 
@@ -245,6 +273,12 @@ func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
 		name = body.Bench
 		req.Key = body.Bench
 		req.Load = func(m *mem.Memory) uint32 { prog.Load(m, in); return prog.Entry() }
+		if opt.AOT {
+			// Adopt the benchmark's cached ahead-of-time image: the engine
+			// pre-seeds its code cache from the image's block schedule, so
+			// the run performs zero dynamic translations on full coverage.
+			a.image(body.Bench, prog).Apply(&opt)
+		}
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "need asm, bench, or faultprog", Class: "permanent"})
 		return
@@ -269,11 +303,58 @@ func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
 		Attempts:      res.Attempts,
 		Worker:        res.Worker,
 		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1000,
+		AOTBlocks:     res.Stats.AOTBlocks,
+		AOTHits:       res.Stats.AOTHits,
+		JITFallbacks:  res.Stats.AOTFallbacks,
 	}
 	for i := range resp.Regs {
 		resp.Regs[i] = res.CPU.R[guest.Reg(i)]
 	}
+	a.runs.Add(1)
+	if opt.AOT {
+		a.aotRuns.Add(1)
+		a.aotHits.Add(res.Stats.AOTHits)
+		a.jitFallbacks.Add(res.Stats.AOTFallbacks)
+		fmt.Fprintf(os.Stderr, "dbtserve: aot %s: %d blocks pre-translated, %d hits, %d jit fallbacks\n",
+			name, res.Stats.AOTBlocks, res.Stats.AOTHits, res.Stats.AOTFallbacks)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the GET /statsz body: cumulative serving counters. The
+// aot_hits vs jit_fallbacks ratio is the cold-start win made observable —
+// a warmed pool serving known images reports growing hits with zero
+// fallbacks.
+type statsResponse struct {
+	Runs         uint64 `json:"runs"`
+	AOTRuns      uint64 `json:"aot_runs"`
+	AOTHits      uint64 `json:"aot_hits"`
+	JITFallbacks uint64 `json:"jit_fallbacks"`
+}
+
+func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Runs:         a.runs.Load(),
+		AOTRuns:      a.aotRuns.Load(),
+		AOTHits:      a.aotHits.Load(),
+		JITFallbacks: a.jitFallbacks.Load(),
+	})
+}
+
+// image returns the (cached) ahead-of-time image for a benchmark, built
+// once by loading the program into a scratch memory and running CFG
+// recovery over it — the offline half of the AOT tier.
+func (a *app) image(name string, prog *workload.Program) *aot.Image {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if im, ok := a.images[name]; ok {
+		return im
+	}
+	m := mem.New()
+	prog.Load(m, workload.Ref)
+	im := aot.BuildFromMemory(m, prog.Entry())
+	a.images[name] = im
+	return im
 }
 
 func (a *app) handleHealth(w http.ResponseWriter, r *http.Request) {

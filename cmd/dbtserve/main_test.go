@@ -234,3 +234,50 @@ func TestHealthzDraining(t *testing.T) {
 		t.Fatalf("run while draining: status %d (%s), want 503", runResp.StatusCode, body)
 	}
 }
+
+// TestRunAOTWarmup is the serving half of the AOT acceptance check: on a
+// known image every /run with the aot mechanism adopts the cached offline
+// image, so even the first request — and certainly every warm one —
+// performs zero dynamic block translations, and /statsz exposes the
+// hits-vs-fallbacks ratio.
+func TestRunAOTWarmup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark model generation is slow")
+	}
+	_, ts := testApp(t)
+	for i := 0; i < 2; i++ {
+		resp, body := postRun(t, ts, runRequest{Bench: "429.mcf", Mech: "aot"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var r runResponse
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatalf("bad response %s: %v", body, err)
+		}
+		if r.Translated != 0 {
+			t.Errorf("request %d: %d dynamic translations, want 0 (image adopted)", i, r.Translated)
+		}
+		if r.AOTBlocks == 0 || r.AOTHits == 0 {
+			t.Errorf("request %d: aot counters empty: %+v", i, r)
+		}
+		if r.JITFallbacks != 0 {
+			t.Errorf("request %d: %d JIT fallbacks, want 0", i, r.JITFallbacks)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs != 2 || s.AOTRuns != 2 {
+		t.Errorf("statsz runs=%d aot_runs=%d, want 2/2", s.Runs, s.AOTRuns)
+	}
+	if s.AOTHits == 0 || s.JITFallbacks != 0 {
+		t.Errorf("statsz = %+v, want hits with zero fallbacks", s)
+	}
+}

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs (table1, fig1, fig10..fig16, table3, table4) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (table1, fig1, fig10..fig16, table3, table4, speh, aot, faults, ...) or 'all'")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast pass")
 	par := flag.Int("par", 0, "max concurrent benchmark runs (0 = NumCPU)")
 	budget := flag.Uint64("budget", 0, "per-run host-instruction budget (0 = default)")

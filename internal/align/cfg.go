@@ -1,0 +1,255 @@
+package align
+
+import (
+	"fmt"
+	"sort"
+
+	"mdabt/internal/guest"
+)
+
+// This file is the whole-binary CFG recovery pass behind the ahead-of-time
+// translation tier (internal/aot, DESIGN.md §13). Where Analyze converges
+// per-register alignment facts, RecoverCFG answers the structural
+// questions an offline translator needs:
+//
+//   - which guest addresses start a translation unit (the reachable block
+//     entry set, mirroring the dynamic translator's own block formation
+//     rule: decode until a terminator, split over-long runs);
+//   - the static successor edges between those blocks;
+//   - the indirect-branch target set: this guest ISA's only indirect
+//     transfer is RET, so the target set is the call-return sites of every
+//     reachable CALL (the same summary approximation Analyze uses);
+//   - whether control can escape to dynamically discovered code the
+//     recovery cannot see (Escapes — decode failures or a capped working
+//     set), in which case the AOT image is a prefix, not the whole program;
+//   - code-vs-data classification: an address is code iff the worklist
+//     decoded an instruction at it. Everything else on the same page is
+//     data, and the write-watch SMC machinery (DESIGN.md §12) already
+//     operates at decode granularity, so pre-translation arms exactly the
+//     pages the recovery touched when it runs through the engine's decode
+//     cache.
+
+// CFGBlock is one recovered translation unit.
+type CFGBlock struct {
+	PC    uint32 // entry address
+	End   uint32 // address past the last decoded instruction
+	Insts int    // instruction count
+	// Succs are the statically known successor block entries (sorted,
+	// deduplicated): branch targets, fallthroughs, and split continuations.
+	// Call-return sites are not successors of the CALL block — control
+	// reaches them through the callee's RET (see CFG.RetTargets).
+	Succs []uint32
+	// Indirect marks a block ending in RET: its dynamic successors are the
+	// call-return sites (CFG.RetTargets), resolved at dispatch time.
+	Indirect bool
+}
+
+// CFG is the recovered whole-binary control-flow graph.
+type CFG struct {
+	Entry  uint32
+	Blocks map[uint32]*CFGBlock
+	// RetTargets is the sorted indirect-branch target set: every
+	// call-return site of a reachable CALL. Sound for guests that follow
+	// the call/return convention; a manufactured return address escapes to
+	// dynamic discovery (the AOT tier's JIT fallback).
+	RetTargets []uint32
+	// Escapes reports that the recovery is incomplete: a decode failure
+	// stopped exploration along some path, or the working set overflowed.
+	// Reachable code may then be missing from Blocks, and a complete-image
+	// claim (zero JIT fallbacks) cannot be made statically.
+	Escapes bool
+	// Insts counts the distinct instructions decoded (code classification).
+	Insts int
+
+	code map[uint32]int // inst start pc -> encoded length
+}
+
+// RecoverCFG walks all code statically reachable from entry, forming
+// translation units exactly the way the dynamic translator does:
+// maxBlockInsts bounds a unit, and an over-long straight-line run is split
+// before a trailing flag-setter (never separating it from the conditional
+// branch that consumes it). Blocks may overlap — a branch into the middle
+// of a decoded run starts its own unit, as it would at dispatch time.
+//
+// maxBlockInsts ≤ 0 selects the translator's own bound (core.MaxBlockInsts
+// re-exports it; the value here is a safe default for standalone use).
+func RecoverCFG(dec Decoder, entry uint32, maxBlockInsts int) *CFG {
+	if maxBlockInsts <= 0 {
+		maxBlockInsts = 64
+	}
+	c := &CFG{
+		Entry:  entry,
+		Blocks: make(map[uint32]*CFGBlock),
+		code:   make(map[uint32]int),
+	}
+	type decoded struct {
+		inst guest.Inst
+		len  int
+		ok   bool
+	}
+	cache := make(map[uint32]decoded)
+	fetch := func(pc uint32) (decoded, bool) {
+		d, ok := cache[pc]
+		if !ok {
+			if len(cache) >= maxAnalyzedInsts {
+				c.Escapes = true
+				return decoded{}, false
+			}
+			in, n, err := dec(pc)
+			d = decoded{inst: in, len: n, ok: err == nil}
+			cache[pc] = d
+			if d.ok {
+				c.code[pc] = n
+			}
+		}
+		return d, d.ok
+	}
+
+	retSet := make(map[uint32]bool)
+	work := []uint32{entry}
+	queued := map[uint32]bool{entry: true}
+	push := func(pc uint32) {
+		if !queued[pc] {
+			queued[pc] = true
+			work = append(work, pc)
+		}
+	}
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if c.Blocks[pc] != nil {
+			continue
+		}
+		b := &CFGBlock{PC: pc}
+		var insts []guest.Inst
+		var lens []int
+		cur := pc
+		failed := false
+		for len(insts) < maxBlockInsts {
+			d, ok := fetch(cur)
+			if !ok {
+				// Undecodable (or capped) at cur: the unit cannot translate
+				// past this point and dynamic dispatch would fault here if it
+				// is ever executed. Record what decoded and mark the escape.
+				c.Escapes = true
+				failed = true
+				break
+			}
+			insts = append(insts, d.inst)
+			lens = append(lens, d.len)
+			cur += uint32(d.len)
+			if d.inst.Op.EndsBlock() {
+				break
+			}
+		}
+		// Mirror decodeBlock's split rule: never strand a flag setter at the
+		// end of a full unit.
+		if n := len(insts); n == maxBlockInsts && insts[n-1].Op.SetsFlags() {
+			cur -= uint32(lens[n-1])
+			insts = insts[:n-1]
+			lens = lens[:n-1]
+		}
+		b.End = cur
+		b.Insts = len(insts)
+		c.Blocks[pc] = b
+		if failed || len(insts) == 0 {
+			continue
+		}
+
+		succ := func(target uint32) {
+			b.Succs = append(b.Succs, target)
+			push(target)
+		}
+		last := insts[len(insts)-1]
+		next := b.End
+		switch last.Op {
+		case guest.HALT:
+			// No successors.
+		case guest.JMP:
+			succ(next + uint32(last.Rel))
+		case guest.JCC:
+			succ(next)
+			succ(next + uint32(last.Rel))
+		case guest.CALL:
+			succ(next + uint32(last.Rel))
+			if !retSet[next] {
+				retSet[next] = true
+				push(next) // reachable through the callee's RET
+			}
+		case guest.RET:
+			b.Indirect = true
+		default:
+			// Split at maxBlockInsts: fall through into the continuation.
+			succ(next)
+		}
+		sort.Slice(b.Succs, func(i, j int) bool { return b.Succs[i] < b.Succs[j] })
+		b.Succs = dedup32(b.Succs)
+	}
+
+	c.Insts = len(c.code)
+	c.RetTargets = make([]uint32, 0, len(retSet))
+	for pc := range retSet {
+		c.RetTargets = append(c.RetTargets, pc)
+	}
+	sort.Slice(c.RetTargets, func(i, j int) bool { return c.RetTargets[i] < c.RetTargets[j] })
+	return c
+}
+
+func dedup32(s []uint32) []uint32 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BlockPCs returns the recovered block entries in ascending address order —
+// the deterministic pre-translation schedule of the AOT pass.
+func (c *CFG) BlockPCs() []uint32 {
+	out := make([]uint32, 0, len(c.Blocks))
+	for pc := range c.Blocks {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsCode reports whether pc is the start of a decoded reachable
+// instruction. Addresses that are not code classify as data: stores to
+// them never invalidate translations, while stores into code bytes hit the
+// write-watch SMC machinery armed when the same decoder populated the
+// engine's decode cache.
+func (c *CFG) IsCode(pc uint32) bool {
+	_, ok := c.code[pc]
+	return ok
+}
+
+// VerifyCoverage is the image-level half of the translation-validation
+// lint: every recovered block entry and every indirect-branch target must
+// be accounted for by the AOT pass (pre-translated, or explicitly degraded
+// to the interpreter/dynamic tier). The per-block half — trap-site,
+// proven/guarded, branch-target, and fault-attribution accounting — is
+// Verify, which the engine runs over AOT output and JIT output alike.
+func (c *CFG) VerifyCoverage(accounted func(pc uint32) bool) []Finding {
+	var findings []Finding
+	for _, pc := range c.BlockPCs() {
+		if !accounted(pc) {
+			findings = append(findings, Finding{
+				HostPC: uint64(pc),
+				Msg:    fmt.Sprintf("recovered guest block %#x not covered by the AOT pass", pc),
+			})
+		}
+	}
+	for _, pc := range c.RetTargets {
+		if c.Blocks[pc] == nil && !accounted(pc) {
+			findings = append(findings, Finding{
+				HostPC: uint64(pc),
+				Msg:    fmt.Sprintf("indirect-branch target %#x not covered by the AOT pass", pc),
+			})
+		}
+	}
+	return findings
+}

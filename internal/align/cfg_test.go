@@ -1,0 +1,349 @@
+package align
+
+import (
+	"fmt"
+	"testing"
+
+	"mdabt/internal/guest"
+	"mdabt/internal/mem"
+	"mdabt/internal/workload"
+)
+
+// buildCFG builds a program and recovers its CFG with the translator's
+// default unit bound, returning the builder for label lookups.
+func buildCFG(t *testing.T, maxBlockInsts int, build func(b *guest.Builder)) (*guest.Builder, *CFG) {
+	t.Helper()
+	b := guest.NewBuilder()
+	build(b)
+	img, err := b.Build(guest.CodeBase)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return b, RecoverCFG(decoderFor(t, guest.CodeBase, img), guest.CodeBase, maxBlockInsts)
+}
+
+func labelPC(t *testing.T, b *guest.Builder, name string) uint32 {
+	t.Helper()
+	off, ok := b.LabelAddr(name)
+	if !ok {
+		t.Fatalf("no label %q", name)
+	}
+	return guest.CodeBase + off
+}
+
+func TestRecoverCFGStructure(t *testing.T) {
+	b, cfg := buildCFG(t, 0, func(b *guest.Builder) {
+		b.MovImm(guest.EAX, 1)
+		b.CmpImm(guest.EAX, 0)
+		b.Jcc(guest.E, "skip")
+		b.Label("call")
+		b.Call("leaf")
+		b.Label("skip")
+		b.Halt()
+		b.Label("leaf")
+		b.Ret()
+	})
+	callPC := labelPC(t, b, "call")
+	skipPC := labelPC(t, b, "skip")
+	leafPC := labelPC(t, b, "leaf")
+
+	if cfg.Escapes {
+		t.Error("Escapes = true on a fully decodable program")
+	}
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("recovered %d blocks, want 4 (entry, call, skip, leaf)", len(cfg.Blocks))
+	}
+	entry := cfg.Blocks[guest.CodeBase]
+	if entry == nil || entry.Insts != 3 {
+		t.Fatalf("entry block %+v, want 3 insts ending at the JCC", entry)
+	}
+	if got, want := fmt.Sprint(entry.Succs), fmt.Sprint([]uint32{callPC, skipPC}); got != want {
+		t.Errorf("entry succs %s, want %s", got, want)
+	}
+	call := cfg.Blocks[callPC]
+	if call == nil || len(call.Succs) != 1 || call.Succs[0] != leafPC {
+		t.Errorf("call block %+v, want single successor %#x (the callee); the return site is not a static edge", call, leafPC)
+	}
+	if skip := cfg.Blocks[skipPC]; skip == nil || len(skip.Succs) != 0 || skip.Indirect {
+		t.Errorf("HALT block %+v, want no successors", skip)
+	}
+	leaf := cfg.Blocks[leafPC]
+	if leaf == nil || !leaf.Indirect || len(leaf.Succs) != 0 {
+		t.Errorf("RET block %+v, want Indirect with no static successors", leaf)
+	}
+	if got, want := fmt.Sprint(cfg.RetTargets), fmt.Sprint([]uint32{skipPC}); got != want {
+		t.Errorf("RetTargets %s, want %s (the call-return site)", got, want)
+	}
+
+	// Code-vs-data classification: instruction starts are code, the middle
+	// of an encoding and the data segment are not.
+	if !cfg.IsCode(guest.CodeBase) || !cfg.IsCode(leafPC) {
+		t.Error("instruction starts not classified as code")
+	}
+	if cfg.IsCode(guest.CodeBase+1) || cfg.IsCode(guest.DataBase) {
+		t.Error("non-instruction addresses classified as code")
+	}
+
+	// Coverage lint: accounting for every recovered block (the ret target
+	// is itself a block) leaves nothing to report; accounting for nothing
+	// reports every block.
+	covered := func(pc uint32) bool { return cfg.Blocks[pc] != nil }
+	if fs := cfg.VerifyCoverage(covered); len(fs) != 0 {
+		t.Errorf("full coverage still reported findings: %v", fs)
+	}
+	if fs := cfg.VerifyCoverage(func(uint32) bool { return false }); len(fs) != len(cfg.Blocks) {
+		t.Errorf("empty coverage reported %d findings, want %d", len(fs), len(cfg.Blocks))
+	}
+}
+
+func TestRecoverCFGSplitRules(t *testing.T) {
+	// A straight-line run longer than the unit bound splits with a
+	// fallthrough edge into the continuation.
+	b, cfg := buildCFG(t, 4, func(b *guest.Builder) {
+		b.Nop()
+		b.Nop()
+		b.Nop()
+		b.Nop()
+		b.Label("cont")
+		b.Nop()
+		b.Halt()
+	})
+	contPC := labelPC(t, b, "cont")
+	entry := cfg.Blocks[guest.CodeBase]
+	if entry == nil || entry.Insts != 4 || len(entry.Succs) != 1 || entry.Succs[0] != contPC {
+		t.Errorf("split block %+v, want 4 insts falling through to %#x", entry, contPC)
+	}
+	if cont := cfg.Blocks[contPC]; cont == nil || cont.Insts != 2 {
+		t.Errorf("continuation block %+v, want 2 insts", cont)
+	}
+
+	// A flag setter at the end of a full unit is pushed into the next unit
+	// so it stays with the JCC that consumes it — the translator's rule.
+	b, cfg = buildCFG(t, 4, func(b *guest.Builder) {
+		b.Nop()
+		b.Nop()
+		b.Nop()
+		b.Label("cmp")
+		b.CmpImm(guest.EAX, 0)
+		b.Jcc(guest.E, "out")
+		b.Nop()
+		b.Label("out")
+		b.Halt()
+	})
+	cmpPC := labelPC(t, b, "cmp")
+	entry = cfg.Blocks[guest.CodeBase]
+	if entry == nil || entry.Insts != 3 || len(entry.Succs) != 1 || entry.Succs[0] != cmpPC {
+		t.Errorf("flag-split block %+v, want 3 insts stopping before the CMP at %#x", entry, cmpPC)
+	}
+	cmpBlk := cfg.Blocks[cmpPC]
+	if cmpBlk == nil || cmpBlk.Insts != 2 || len(cmpBlk.Succs) != 2 {
+		t.Errorf("CMP+JCC block %+v, want the pair together with both edges", cmpBlk)
+	}
+}
+
+func TestRecoverCFGDecodeFailureEscapes(t *testing.T) {
+	b := guest.NewBuilder()
+	b.MovImm(guest.EBX, guest.DataBase)
+	b.Halt()
+	img, err := b.Build(guest.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen, err := guest.EncodedLen(guest.Inst{Op: guest.MOVri, R1: guest.EBX, Imm: guest.DataBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := func(pc uint32) (guest.Inst, int, error) {
+		off := int(pc - guest.CodeBase)
+		if off >= firstLen {
+			return guest.Inst{}, 0, fmt.Errorf("no code at %#x", pc)
+		}
+		return guest.Decode(img[off:])
+	}
+	cfg := RecoverCFG(dec, guest.CodeBase, 0)
+	if !cfg.Escapes {
+		t.Error("Escapes = false after a decode failure; a complete-image claim would be unsound")
+	}
+	entry := cfg.Blocks[guest.CodeBase]
+	if entry == nil || entry.Insts != 1 || len(entry.Succs) != 0 {
+		t.Errorf("partial block %+v, want the single decoded instruction and no successors", entry)
+	}
+}
+
+// TestRecoverCFGFaultPrograms runs CFG recovery over the four guest-fault
+// workload programs (the ones with page-protection plans and
+// self-modifying code) and checks the structural soundness the AOT tier
+// depends on: recovery is complete (no escapes), every static edge and
+// indirect-branch target lands on a recovered block, and full accounting
+// passes the coverage lint.
+func TestRecoverCFGFaultPrograms(t *testing.T) {
+	progs, err := workload.FaultPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 4 {
+		t.Fatalf("got %d fault programs, want 4", len(progs))
+	}
+	for _, p := range progs {
+		t.Run(p.Name, func(t *testing.T) {
+			m := mem.New()
+			p.Load(m)
+			dec := func(pc uint32) (guest.Inst, int, error) {
+				var buf [16]byte
+				for i := range buf {
+					buf[i] = m.Read8(uint64(pc) + uint64(i))
+				}
+				return guest.Decode(buf[:])
+			}
+			cfg := RecoverCFG(dec, p.Entry(), 0)
+			if cfg.Escapes {
+				t.Error("recovery escaped to dynamic discovery")
+			}
+			if cfg.Blocks[p.Entry()] == nil {
+				t.Fatalf("entry %#x not recovered", p.Entry())
+			}
+			if cfg.Insts == 0 {
+				t.Error("no instructions classified as code")
+			}
+			for pc, blk := range cfg.Blocks {
+				for _, s := range blk.Succs {
+					if cfg.Blocks[s] == nil {
+						t.Errorf("block %#x successor %#x not recovered", pc, s)
+					}
+				}
+			}
+			for _, rt := range cfg.RetTargets {
+				if cfg.Blocks[rt] == nil {
+					t.Errorf("indirect-branch target %#x not recovered", rt)
+				}
+			}
+			covered := func(pc uint32) bool { return cfg.Blocks[pc] != nil }
+			if fs := cfg.VerifyCoverage(covered); len(fs) != 0 {
+				t.Errorf("coverage lint: %v", fs)
+			}
+		})
+	}
+}
+
+// TestFactDegenerateMasks pins the AND/OR/SHL transfer functions on their
+// degenerate inputs: masks that clear everything, learn nothing, or whose
+// shift count wraps to zero.
+func TestFactDegenerateMasks(t *testing.T) {
+	if got := top.andFact(factOf(0)); got != factOf(0) {
+		t.Errorf("unknown & 0 = %v, want exactly 0", got)
+	}
+	if got := top.andFact(factOf(7)); got != top {
+		t.Errorf("unknown & all-ones = %v, want top (mask keeps every unknown bit)", got)
+	}
+	if got := top.orFact(factOf(7)); got != factOf(7) {
+		t.Errorf("unknown | 7 = %v, want exactly 7", got)
+	}
+	if got := top.orFact(factOf(0)); got != top {
+		t.Errorf("unknown | 0 = %v, want top (identity learns nothing)", got)
+	}
+	// A known-one above an unknown bit cannot be kept: the prefix cuts at
+	// the first undecidable bit.
+	if got := top.orFact(factOf(4)); got != top {
+		t.Errorf("unknown | 4 = %v, want top", got)
+	}
+	// Mixed partial knowledge: odd value & ^3 clears the known bit 0 and
+	// the mask's zero bit 1, then stops at the unknown bit 2.
+	if got := (Fact{k: 1, r: 1}).andFact(factOf(4)); got != (Fact{k: 2, r: 0}) {
+		t.Errorf("odd & 4 = %v, want 0 mod 4", got)
+	}
+	if got := (Fact{k: 2, r: 2}).orFact(factOf(1)); got != (Fact{k: 2, r: 3}) {
+		t.Errorf("(2 mod 4) | 1 = %v, want 3 mod 4", got)
+	}
+	// Shifts: by zero is the identity, by >= maxKnown pins everything.
+	if got := top.shiftLeft(0); got != top {
+		t.Errorf("unknown << 0 = %v, want top", got)
+	}
+	if got := top.shiftLeft(31); got != factOf(0) {
+		t.Errorf("unknown << 31 = %v, want exactly 0 mod 8", got)
+	}
+}
+
+// TestDegenerateMaskPrograms drives the same degenerate idioms through
+// whole programs: an unknown (loaded) pointer masked each way, then used
+// as a 4-byte access base.
+func TestDegenerateMaskPrograms(t *testing.T) {
+	cases := []struct {
+		name  string
+		apply func(b *guest.Builder)
+		want  Verdict
+	}{
+		{"and-0", func(b *guest.Builder) { b.ALUImm(guest.ANDri, guest.ESI, 0) }, Aligned},
+		{"and-all-ones", func(b *guest.Builder) { b.ALUImm(guest.ANDri, guest.ESI, -1) }, Unknown},
+		{"and-1", func(b *guest.Builder) { b.ALUImm(guest.ANDri, guest.ESI, 1) }, Unknown},
+		{"or-7", func(b *guest.Builder) { b.ALUImm(guest.ORri, guest.ESI, 7) }, Misaligned},
+		{"or-0", func(b *guest.Builder) { b.ALUImm(guest.ORri, guest.ESI, 0) }, Unknown},
+		{"shl-32-wraps-to-0", func(b *guest.Builder) { b.ALUImm(guest.SHLri, guest.ESI, 32) }, Unknown},
+		{"shl-31", func(b *guest.Builder) { b.ALUImm(guest.SHLri, guest.ESI, 31) }, Aligned},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := analyze(t, func(b *guest.Builder) {
+				b.MovImm(guest.EBX, guest.DataBase)
+				b.Load(guest.LD4, guest.ESI, guest.MemRef{Base: guest.EBX}) // esi unknown
+				c.apply(b)
+				b.ALU(guest.ADDrr, guest.ESI, guest.EBX)
+				b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.ESI})
+				b.Halt()
+			})
+			sites := sortedSites(a)
+			if got := sites[len(sites)-1].Verdict; got != c.want {
+				t.Errorf("masked-pointer site: %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestRepMovsAcrossCallSummary puts a REPMOVS4 copy routine behind a CALL
+// reached from two sites with different stream alignments. The callee sees
+// the join over both call sites (the analysis's call/return summary), and
+// the callers see the joined RET summary on the way back — so the verdicts
+// must hold exactly the facts that survive both boundary crossings.
+func TestRepMovsAcrossCallSummary(t *testing.T) {
+	b := guest.NewBuilder()
+	// Site 1: source 0 mod 8, destination 1 mod 8.
+	b.MovImm(guest.ESI, guest.DataBase)
+	b.MovImm(guest.EDI, guest.DataBase+65)
+	b.MovImm(guest.ECX, 8)
+	b.Call("copy")
+	// Site 2: same residues mod 4, different mod 8 — the summary join keeps
+	// exactly two bits of each stream pointer.
+	b.MovImm(guest.ESI, guest.DataBase+4)
+	b.MovImm(guest.EDI, guest.DataBase+129)
+	b.MovImm(guest.ECX, 8)
+	b.Call("copy")
+	// ECX is pinned to zero by the copy's fallthrough edge in both bodies,
+	// and the fact must survive the RET summary back to this load.
+	b.Label("after")
+	b.Load(guest.LD4, guest.EAX, guest.MemRef{Base: guest.ECX, Disp: guest.DataBase})
+	b.Halt()
+	b.Label("copy")
+	b.Emit(guest.Inst{Op: guest.REPMOVS4})
+	b.Ret()
+
+	img, err := b.Build(guest.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPC := labelPC(t, b, "copy")
+	afterPC := labelPC(t, b, "after")
+	a := Analyze(decoderFor(t, guest.CodeBase, img), guest.CodeBase)
+
+	// Load stream: join(0, 4) mod 8 keeps 0 mod 4, invariant under the +4
+	// self-loop — provably aligned even with mixed callers.
+	if v := a.Verdict(copyPC, 0); v != Aligned {
+		t.Errorf("copy load stream: %v, want aligned (0 mod 4 survives the summary join)", v)
+	}
+	// Store stream: join(1, 1) mod 8 = 1 mod 8, widened to 1 mod 4 by the
+	// self-loop — provably misaligned across both callers.
+	if v := a.Verdict(copyPC, 1); v != Misaligned {
+		t.Errorf("copy store stream: %v, want misaligned (1 mod 4 survives the summary join)", v)
+	}
+	if v := a.Verdict(afterPC, 0); v != Aligned {
+		t.Errorf("post-return ECX-based load: %v, want aligned (ECX pinned to 0 through the RET summary)", v)
+	}
+}

@@ -1,0 +1,105 @@
+// Package aot is the ahead-of-time static translation tier (DESIGN.md
+// §13): it runs internal/align's whole-binary CFG recovery over a loaded
+// guest image offline and packages the result as a serializable Image —
+// the block-entry schedule, the indirect-branch target set, and the
+// escapes-to-dynamic verdict — that an engine adopts through
+// Options.AOTBlocks. Engine.Reset with applied options re-adopts the image
+// into the fresh code cache at the next Run, so a serving engine answers
+// repeat requests for a known binary with zero dynamic translations.
+package aot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mdabt/internal/align"
+	"mdabt/internal/core"
+	"mdabt/internal/guest"
+	"mdabt/internal/mem"
+)
+
+// ImageVersion is the serialization format version.
+const ImageVersion = 1
+
+// Image is a serialized whole-binary pre-translation schedule. It carries
+// guest-level facts only — block entries, not host code words — because
+// host code is deterministic given (guest image, Options): the engine
+// re-emits it at adoption, offline, charging no simulated cycles, which
+// keeps the image valid across engine configurations and code-cache
+// layouts while still making warm starts bit-identical to cold ones.
+type Image struct {
+	Version int    `json:"version"`
+	Entry   uint32 `json:"entry"`
+	// Blocks is the recovered block-entry schedule, ascending.
+	Blocks []uint32 `json:"blocks"`
+	// RetTargets is the recovered indirect-branch target set (also present
+	// in Blocks; kept separately for diagnostics and target-set studies).
+	RetTargets []uint32 `json:"ret_targets,omitempty"`
+	// Escapes records the recovery's soundness verdict: true means some
+	// reachable code escaped static discovery and JIT fallbacks are
+	// expected at run time.
+	Escapes bool `json:"escapes,omitempty"`
+	// Insts counts the instructions classified as code.
+	Insts int `json:"insts"`
+}
+
+// Build recovers the CFG from entry through dec and packages it.
+func Build(dec align.Decoder, entry uint32) *Image {
+	cfg := align.RecoverCFG(dec, entry, core.MaxBlockInsts)
+	return &Image{
+		Version:    ImageVersion,
+		Entry:      entry,
+		Blocks:     cfg.BlockPCs(),
+		RetTargets: cfg.RetTargets,
+		Escapes:    cfg.Escapes,
+		Insts:      cfg.Insts,
+	}
+}
+
+// BuildFromMemory builds an image for the program loaded in m.
+func BuildFromMemory(m *mem.Memory, entry uint32) *Image {
+	return Build(MemDecoder(m), entry)
+}
+
+// MemDecoder wraps guest.Decode over a loaded memory image, for recovering
+// a program outside an engine.
+func MemDecoder(m *mem.Memory) align.Decoder {
+	return func(pc uint32) (guest.Inst, int, error) {
+		var buf [16]byte
+		for i := range buf {
+			buf[i] = m.Read8(uint64(pc) + uint64(i))
+		}
+		return guest.Decode(buf[:])
+	}
+}
+
+// Apply configures o to adopt the image: the aot mechanism's pre-seeding
+// pass translates im.Blocks instead of re-running CFG recovery in-engine.
+func (im *Image) Apply(o *core.Options) {
+	o.AOT = true
+	o.StaticAlign = true
+	o.AOTBlocks = im.Blocks
+}
+
+// Encode writes the image as JSON.
+func (im *Image) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(im)
+}
+
+// Decode reads and validates a serialized image.
+func Decode(r io.Reader) (*Image, error) {
+	var im Image
+	if err := json.NewDecoder(r).Decode(&im); err != nil {
+		return nil, fmt.Errorf("aot: decode image: %w", err)
+	}
+	if im.Version != ImageVersion {
+		return nil, fmt.Errorf("aot: image version %d, want %d", im.Version, ImageVersion)
+	}
+	if len(im.Blocks) == 0 {
+		return nil, fmt.Errorf("aot: image has no blocks")
+	}
+	return &im, nil
+}

@@ -1,0 +1,80 @@
+package aot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mdabt/internal/core"
+	"mdabt/internal/guest"
+	"mdabt/internal/mem"
+	"mdabt/internal/workload"
+)
+
+func buildTestImage(t *testing.T) *Image {
+	t.Helper()
+	progs, err := workload.FaultPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	progs[0].Load(m)
+	return BuildFromMemory(m, progs[0].Entry())
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	im := buildTestImage(t)
+	if im.Version != ImageVersion || im.Entry != guest.CodeBase {
+		t.Fatalf("image header %+v", im)
+	}
+	if len(im.Blocks) == 0 || im.Insts == 0 {
+		t.Fatalf("empty image %+v", im)
+	}
+	if im.Escapes {
+		t.Error("closed workload program escaped static recovery")
+	}
+
+	var buf bytes.Buffer
+	if err := im.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != im.Entry || got.Insts != im.Insts || len(got.Blocks) != len(im.Blocks) {
+		t.Errorf("round trip changed the image: %+v -> %+v", im, got)
+	}
+	for i, pc := range im.Blocks {
+		if got.Blocks[i] != pc {
+			t.Fatalf("block %d: %#x -> %#x", i, pc, got.Blocks[i])
+		}
+	}
+}
+
+func TestDecodeRejectsBadImages(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"version":99,"blocks":[1]}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("empty block schedule accepted")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestApplyConfiguresAdoption(t *testing.T) {
+	im := buildTestImage(t)
+	opt := core.DefaultOptions(core.ExceptionHandling)
+	im.Apply(&opt)
+	if !opt.AOT || !opt.StaticAlign {
+		t.Errorf("Apply left opt %+v", opt)
+	}
+	if len(opt.AOTBlocks) != len(im.Blocks) {
+		t.Errorf("schedule not adopted: %d blocks, want %d", len(opt.AOTBlocks), len(im.Blocks))
+	}
+	if err := opt.Validate(); err != nil {
+		t.Errorf("applied options do not validate: %v", err)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"mdabt/internal/align"
+	"mdabt/internal/guest"
+	"mdabt/internal/machine"
+	"mdabt/internal/mem"
+	"mdabt/internal/workload"
+)
+
+// aotTestDecoder wraps guest.Decode over loaded memory, mirroring what the
+// offline internal/aot builder uses (core cannot import internal/aot — it
+// imports us — so the schedule is recovered the same way it does it).
+func aotTestDecoder(m *mem.Memory) align.Decoder {
+	return func(pc uint32) (guest.Inst, int, error) {
+		var buf [16]byte
+		for i := range buf {
+			buf[i] = m.Read8(uint64(pc) + uint64(i))
+		}
+		return guest.Decode(buf[:])
+	}
+}
+
+func aotTestPrograms(t *testing.T) []struct {
+	name string
+	img  []byte
+} {
+	t.Helper()
+	return []struct {
+		name string
+		img  []byte
+	}{
+		{"misloop", mdaLoopImg(t, 300)},
+		{"lateonset", lateOnsetImg(t, 100, 400)},
+		{"multiblock", multiBlockLoopImg(t, 800)},
+		{"mixedgroup", mixedGroupImg(t, 300)},
+	}
+}
+
+// TestAOTZeroDynamicTranslations is the tier's core claim: on a program
+// whose CFG recovers completely, the aot mechanism performs zero dynamic
+// translations — everything executes out of the pre-seeded cache — while
+// computing the exact architectural state of the reference interpreter.
+// The translation-validation lint must also pass over every AOT block.
+func TestAOTZeroDynamicTranslations(t *testing.T) {
+	data := patternData(256)
+	for _, p := range aotTestPrograms(t) {
+		refCPU, refArena := reference(t, p.img, data)
+		cpu, arena, e := runDBT(t, p.img, data, DefaultOptions(AOT))
+		compareState(t, p.name+"/aot", refCPU, cpu, refArena, arena)
+
+		s := e.Stats()
+		if s.AOTBlocks == 0 {
+			t.Errorf("%s: no blocks pre-translated", p.name)
+		}
+		if s.BlocksTranslated != 0 {
+			t.Errorf("%s: %d dynamic translations, want 0 (complete recovery)", p.name, s.BlocksTranslated)
+		}
+		if s.AOTFallbacks != 0 {
+			t.Errorf("%s: %d JIT fallbacks, want 0", p.name, s.AOTFallbacks)
+		}
+		if s.AOTHits == 0 {
+			t.Errorf("%s: no dispatches hit the pre-translated cache", p.name)
+		}
+		if problems := e.Lint(); len(problems) != 0 {
+			t.Errorf("%s: lint over AOT output: %v", p.name, problems)
+		}
+	}
+}
+
+// TestAOTWarmColdBitIdentical compares a cold engine (the aot mechanism
+// recovering its own CFG in-engine) against a warm one adopting an offline
+// image (Options.AOTBlocks carrying the same schedule, as the serving
+// layer does). Both fingerprints — every machine counter and every Stats
+// field — must be bit-identical: adopting an image is pure startup
+// plumbing, never a behaviour change.
+func TestAOTWarmColdBitIdentical(t *testing.T) {
+	data := patternData(256)
+	for _, p := range aotTestPrograms(t) {
+		static := censusSites(t, p.img, data)
+		configs := []struct {
+			name string
+			opt  Options
+		}{
+			{"aot", DefaultOptions(AOT)},
+			{"speh+aot", func() Options {
+				o := DefaultOptions(SPEH)
+				o.StaticSites = static
+				o.AOT = true
+				o.StaticAlign = true
+				return o
+			}()},
+		}
+		for _, cfg := range configs {
+			_, _, cold := runDBT(t, p.img, data, cfg.opt)
+
+			m := mem.New()
+			m.WriteBytes(guest.CodeBase, p.img)
+			m.WriteBytes(guest.DataBase, data)
+			warmOpt := cfg.opt
+			warmOpt.AOTBlocks = align.RecoverCFG(aotTestDecoder(m), guest.CodeBase, MaxBlockInsts).BlockPCs()
+			_, _, warm := runDBT(t, p.img, data, warmOpt)
+
+			if c, w := equivalenceFingerprint(cold), equivalenceFingerprint(warm); c != w {
+				t.Errorf("%s|%s: warm start diverged from cold\ncold %s\nwarm %s", p.name, cfg.name, c, w)
+			}
+		}
+	}
+}
+
+// TestAOTWarmColdFaultPrograms extends the warm/cold identity to the
+// guest-fault workload: page protections, a run ending in a delivered
+// fault, and self-modifying code must all leave the two starts
+// indistinguishable.
+func TestAOTWarmColdFaultPrograms(t *testing.T) {
+	progs, err := workload.FaultPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *workload.FaultProgram, opt Options) (*Engine, error) {
+		m := mem.New()
+		p.Load(m)
+		mach := machine.New(m, machine.DefaultParams())
+		e := NewEngine(m, mach, opt)
+		return e, e.Run(p.Entry(), 500_000_000)
+	}
+	for _, p := range progs {
+		cold, cerr := run(p, DefaultOptions(AOT))
+		if p.ExpectFault != (cerr != nil) {
+			t.Fatalf("%s: cold run err %v, expect-fault %v", p.Name, cerr, p.ExpectFault)
+		}
+
+		m := mem.New()
+		p.Load(m)
+		warmOpt := DefaultOptions(AOT)
+		warmOpt.AOTBlocks = align.RecoverCFG(aotTestDecoder(m), p.Entry(), MaxBlockInsts).BlockPCs()
+		warm, werr := run(p, warmOpt)
+		if (cerr == nil) != (werr == nil) {
+			t.Fatalf("%s: cold err %v, warm err %v", p.Name, cerr, werr)
+		}
+		if c, w := equivalenceFingerprint(cold), equivalenceFingerprint(warm); c != w {
+			t.Errorf("%s: warm start diverged from cold\ncold %s\nwarm %s", p.Name, c, w)
+		}
+	}
+}
+
+// TestCFGRecoveryCoversDynamicBlocks is the soundness cross-check from the
+// acceptance criteria: every block the dynamic translator discovers at
+// run time must already be in the statically recovered CFG, for all
+// workload programs — including the self-modifying one, whose two stub
+// variants share an instruction layout, so the rewritten code re-enters at
+// recovered boundaries.
+func TestCFGRecoveryCoversDynamicBlocks(t *testing.T) {
+	data := patternData(256)
+	check := func(name string, e *Engine, cfg *align.CFG) {
+		t.Helper()
+		if cfg.Escapes {
+			t.Errorf("%s: static recovery escaped; cannot claim coverage", name)
+			return
+		}
+		for _, pc := range e.TranslatedPCs() {
+			if cfg.Blocks[pc] == nil {
+				t.Errorf("%s: dynamic block %#x missed by static recovery", name, pc)
+			}
+		}
+	}
+	for _, p := range aotTestPrograms(t) {
+		for _, mech := range []Mechanism{Direct, ExceptionHandling} {
+			m := mem.New()
+			m.WriteBytes(guest.CodeBase, p.img)
+			cfg := align.RecoverCFG(aotTestDecoder(m), guest.CodeBase, MaxBlockInsts)
+			_, _, e := runDBT(t, p.img, data, DefaultOptions(mech))
+			check(p.name, e, cfg)
+		}
+	}
+	progs, err := workload.FaultPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		m := mem.New()
+		p.Load(m)
+		cfg := align.RecoverCFG(aotTestDecoder(m), p.Entry(), MaxBlockInsts)
+
+		rm := mem.New()
+		p.Load(rm)
+		mach := machine.New(rm, machine.DefaultParams())
+		e := NewEngine(rm, mach, DefaultOptions(ExceptionHandling))
+		rerr := e.Run(p.Entry(), 500_000_000)
+		if p.ExpectFault != (rerr != nil) {
+			t.Fatalf("%s: run err %v, expect-fault %v", p.Name, rerr, p.ExpectFault)
+		}
+		check(p.Name, e, cfg)
+	}
+}
+
+// TestAOTResetReadoption drives the serving layer's reuse path: one engine,
+// Reset between runs with the image schedule applied each time. Every run
+// must come entirely out of the pre-seeded cache, and the second run's
+// fingerprint must match the first bit for bit.
+func TestAOTResetReadoption(t *testing.T) {
+	img := mdaLoopImg(t, 300)
+	data := patternData(256)
+
+	m := mem.New()
+	m.WriteBytes(guest.CodeBase, img)
+	opt := DefaultOptions(AOT)
+	opt.AOTBlocks = align.RecoverCFG(aotTestDecoder(m), guest.CodeBase, MaxBlockInsts).BlockPCs()
+
+	mach := machine.New(m, machine.DefaultParams())
+	e := NewEngine(m, mach, opt)
+	var prints []string
+	for run := 0; run < 2; run++ {
+		if run > 0 {
+			e.Reset(opt)
+		}
+		e.LoadImage(guest.CodeBase, img)
+		m.WriteBytes(guest.DataBase, data)
+		if err := e.Run(guest.CodeBase, 500_000_000); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		s := e.Stats()
+		if s.AOTBlocks == 0 || s.BlocksTranslated != 0 || s.AOTFallbacks != 0 {
+			t.Errorf("run %d: stats %+v, want pre-seeded blocks and zero dynamic translations", run, s)
+		}
+		prints = append(prints, equivalenceFingerprint(e))
+	}
+	if prints[0] != prints[1] {
+		t.Errorf("re-adoption after Reset diverged\nfirst  %s\nsecond %s", prints[0], prints[1])
+	}
+}

@@ -199,6 +199,9 @@ type block struct {
 	invalid   bool
 	// twoVer marks units containing multi-version sites (statistics).
 	twoVer bool
+	// aot marks translations produced by the offline pre-translation pass
+	// (Options.AOT); dispatches into them count as Stats.AOTHits.
+	aot bool
 }
 
 func (b *block) String() string {

@@ -50,6 +50,7 @@ const (
 	ExceptionHandling
 	DPEH
 	SPEH
+	AOT
 )
 
 // String returns the mechanism's registry name.
@@ -174,6 +175,23 @@ type Options struct {
 	// charged once per analyzed guest instruction at Run entry.
 	AnalyzeCyclesPerInst uint64
 
+	// AOT enables the ahead-of-time tier (DESIGN.md §13): at Run entry the
+	// engine recovers the whole-binary CFG (or adopts AOTBlocks) and
+	// pre-translates every reachable block before the first guest
+	// instruction executes. Pre-translation is offline work — it charges no
+	// simulated cycles and counts in Stats.AOTBlocks, not BlocksTranslated —
+	// so the simulated run starts with a warm code cache. Indirect-target
+	// misses and SMC invalidations fall back to the ordinary dynamic
+	// translator (Stats.AOTFallbacks). AOT implies StaticAlign: the align
+	// verdicts are what select plain / eager-sequence / trap-guarded shapes
+	// per site during the offline pass.
+	AOT bool
+	// AOTBlocks, when non-nil, is a pre-recovered block-entry schedule (an
+	// internal/aot image) adopted instead of running CFG recovery in-engine:
+	// the serializable-image seam. Engine.Reset with these options re-adopts
+	// the image into the fresh code cache at the next Run. Requires AOT.
+	AOTBlocks []uint32
+
 	// BT software costs, in host cycles (DESIGN.md §5).
 	InterpCyclesPerInst    uint64
 	TranslateCyclesPerInst uint64
@@ -241,6 +259,12 @@ func DefaultOptions(m Mechanism) Options {
 		CodeCacheBytes:         4 << 20,
 		SliceInsts:             DefaultSliceInsts,
 		PatchRetryLimit:        8,
+	}
+	if name, ok := policy.NameOf(int(m)); ok && name == "aot" {
+		// The aot mechanism is the AOT tier: pre-translate everything from
+		// the recovered CFG, with align verdicts choosing the site shapes.
+		o.AOT = true
+		o.StaticAlign = true
 	}
 	return o
 }
@@ -369,6 +393,18 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: MixedSiteMin %g > MixedSiteMax %g", o.MixedSiteMin, o.MixedSiteMax)
 	case profiled && o.HeatThreshold == 0:
 		return fmt.Errorf("core: %s is two-phase but the heating threshold is zero", name)
+	case o.AOT && !o.StaticAlign:
+		return fmt.Errorf("core: AOT needs StaticAlign: the offline pass has no profiles, align verdicts pick the site shapes")
+	case o.AOT && profiled:
+		return fmt.Errorf("core: AOT pre-translation is single-phase; %s interprets first to profile", name)
+	case o.AOT && o.MultiVersion:
+		return fmt.Errorf("core: MultiVersion needs interpretation profiles, which AOT pre-translation never gathers")
+	case o.AOT && o.Adaptive:
+		return fmt.Errorf("core: Adaptive needs interpretation profiles, which AOT pre-translation never gathers")
+	case o.AOT && o.Superblocks:
+		return fmt.Errorf("core: Superblocks form traces from interpretation heat, which AOT pre-translation never gathers")
+	case o.AOTBlocks != nil && !o.AOT:
+		return fmt.Errorf("core: AOTBlocks is an AOT image schedule; set AOT to adopt it")
 	}
 	return nil
 }
@@ -472,4 +508,9 @@ type Stats struct {
 	SMCInvalidations   uint64 // translations discarded because the guest wrote its own code
 	SMCDecodeFlushes   uint64 // decode-cache entries dropped by guest code writes
 	UnattributedFaults uint64 // access traps outside any translation, re-executed raw
+
+	// Ahead-of-time tier (Options.AOT; DESIGN.md §13).
+	AOTBlocks    uint64 // blocks pre-translated offline from the recovered CFG
+	AOTHits      uint64 // dispatches that landed in a pre-translated block
+	AOTFallbacks uint64 // dynamic (JIT) translations performed despite AOT (indirect miss, SMC, flush)
 }

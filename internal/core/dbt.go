@@ -95,6 +95,15 @@ type Engine struct {
 	// sitePolicies/memAccessSub for verdict overrides.
 	alignDB    *align.Analysis
 	alignEntry uint32
+	// AOT pre-translation state (Options.AOT; core/aot.go). aotPass marks
+	// translations performed by the offline pass (they charge no simulated
+	// cycles and count as Stats.AOTBlocks); aotDone/aotEntry memoize the
+	// pass per entry point; aotCoverage stashes the image-coverage lint
+	// findings for Engine.Lint.
+	aotPass     bool
+	aotDone     bool
+	aotEntry    uint32
+	aotCoverage []align.Finding
 	// blockSpans and stubRanges attribute trapped host PCs back to guest
 	// instructions for precise fault delivery (fault.go). Both are
 	// append-only within a cache generation and cleared only on flush:
@@ -164,6 +173,7 @@ func (e *Engine) configure(opt Options) {
 	e.adaptives = nil
 	e.counterNext = counterBase
 	e.alignDB, e.alignEntry = nil, 0
+	e.aotPass, e.aotDone, e.aotEntry, e.aotCoverage = false, false, 0, nil
 	e.blockSpans = nil
 	e.stubRanges = nil
 	e.pendingFault = nil
@@ -541,6 +551,9 @@ func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint
 	if e.Opt.StaticAlign && (e.alignDB == nil || e.alignEntry != entry) {
 		e.buildAlignDB(entry)
 	}
+	if e.Opt.AOT && (!e.aotDone || e.aotEntry != entry) {
+		e.preseedAOT(entry)
+	}
 	slice := e.Opt.SliceInsts
 	target := entry
 	e.curTarget = entry
@@ -613,6 +626,9 @@ func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint
 					// fetch-protection fault found while decoding).
 					return e.guestError(target, err)
 				}
+			}
+			if b.aot {
+				e.stats.AOTHits++
 			}
 			e.syncToHost()
 			e.Mach.SetPC(b.hostEntry)

@@ -91,6 +91,12 @@ func equivalenceConfigs(static map[uint32]bool) []struct {
 	sb.Superblocks = true
 	sb.IBTC = true
 	add("dpeh+superblocks+ibtc", sb)
+	add("aot", DefaultOptions(AOT))
+	spehAOT := DefaultOptions(SPEH)
+	spehAOT.StaticSites = static
+	spehAOT.AOT = true
+	spehAOT.StaticAlign = true
+	add("speh+aot", spehAOT)
 	return out
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"mdabt/internal/align"
-	"mdabt/internal/guest"
 	"mdabt/internal/host"
 )
 
@@ -20,17 +19,14 @@ import (
 // later be translated from its cached entry, so it must be armed for
 // self-modifying stores like any other decoded code page.
 func (e *Engine) buildAlignDB(entry uint32) {
-	dec := func(pc uint32) (guest.Inst, int, error) {
-		de, err := e.decoded(pc)
-		if err != nil {
-			return guest.Inst{}, 0, err
-		}
-		return de.inst, de.len, nil
-	}
-	e.alignDB = align.Analyze(dec, entry)
+	e.alignDB = align.Analyze(e.alignDecoder(), entry)
 	e.alignEntry = entry
 	e.stats.StaticAnalyzedInsts = uint64(e.alignDB.Insts())
-	e.Mach.AddCycles(e.Opt.AnalyzeCyclesPerInst * uint64(e.alignDB.Insts()))
+	if !e.Opt.AOT {
+		// Under the AOT tier the analysis is part of the offline build, like
+		// the pre-translation pass itself: no simulated cycles.
+		e.Mach.AddCycles(e.Opt.AnalyzeCyclesPerInst * uint64(e.alignDB.Insts()))
+	}
 }
 
 // noteAlignViolation records a misalignment trap arriving at a host PC the
@@ -139,13 +135,19 @@ func (e *Engine) verifyBlock(b *block) []align.Finding {
 
 // Lint runs the static translation verifier over every live translation,
 // returning one line per finding (`dbtrun -lint`; the experiment sessions
-// call it after every run).
+// call it after every run). Under Options.AOT it also reports the
+// pre-translation pass's image-coverage findings — recovered blocks or
+// indirect targets the pass failed to account for — so AOT output faces
+// the same CI gate as JIT output.
 func (e *Engine) Lint() []string {
 	var out []string
 	for _, pc := range e.TranslatedPCs() {
 		for _, f := range e.verifyBlock(e.blocks[pc]) {
 			out = append(out, fmt.Sprintf("block %#x: %s", pc, f))
 		}
+	}
+	for _, f := range e.aotCoverage {
+		out = append(out, fmt.Sprintf("aot coverage: %s", f))
 	}
 	return out
 }

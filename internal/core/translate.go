@@ -14,6 +14,11 @@ import (
 // split with a synthetic fallthrough exit.
 const maxBlockInsts = 64
 
+// MaxBlockInsts exports the translator's unit bound so offline CFG recovery
+// (internal/align.RecoverCFG via internal/aot) forms exactly the blocks the
+// dynamic translator would.
+const MaxBlockInsts = maxBlockInsts
+
 // sitePolicy is the translation-time decision for one memory site.
 type sitePolicy uint8
 
@@ -952,7 +957,22 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 	e.blocks[pc] = b
 	e.blockSpans = append(e.blockSpans, blockSpan{lo: addr, hi: addr + size, b: b})
 	e.event(EvTranslate, pc, addr, fmt.Sprintf("%d insts, %d blocks", len(insts), nblocks))
-	e.stats.BlocksTranslated++
+	if e.aotPass {
+		// Offline pre-translation: counted separately and free of simulated
+		// cycles — the AOT tier's whole point is that this work happens
+		// before the program runs (DESIGN.md §13).
+		b.aot = true
+		e.stats.AOTBlocks++
+	} else {
+		e.stats.BlocksTranslated++
+		if e.Opt.AOT {
+			// A dynamic translation despite pre-translation: indirect-target
+			// miss, SMC invalidation, or a post-flush refill.
+			e.stats.AOTFallbacks++
+		}
+		cost := e.Opt.TranslateFixedCycles + e.Opt.TranslateCyclesPerInst*uint64(len(insts))
+		e.Mach.AddCycles(cost)
+	}
 	if nblocks > 1 {
 		e.stats.Superblocks++
 		e.stats.TraceBlocks += uint64(nblocks)
@@ -960,8 +980,6 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 	if b.twoVer {
 		e.stats.MultiVersion++
 	}
-	cost := e.Opt.TranslateFixedCycles + e.Opt.TranslateCyclesPerInst*uint64(len(insts))
-	e.Mach.AddCycles(cost)
 	e.selfCheck("translate")
 	return b, nil
 }

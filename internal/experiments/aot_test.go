@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestAOTStudyShape(t *testing.T) {
+	r := runExp(t, "aot")
+	if len(r.Names) != 21 {
+		t.Fatalf("aot has %d rows, want 21", len(r.Names))
+	}
+	if g := r.Geomean("ExceptionHandling"); g != 1 {
+		t.Errorf("EH normalized geomean = %v, want exactly 1", g)
+	}
+	// AOT is EH minus every run-time translation and analysis charge, with
+	// eager sequences at proven-misaligned sites sparing their first trap:
+	// it must not lose to EH.
+	if aotG := r.Geomean("AOT"); aotG > 1.0005 {
+		t.Errorf("AOT geomean %.4f worse than ExceptionHandling", aotG)
+	}
+	// The workload generator emits closed call/return-convention programs,
+	// so CFG recovery is complete: everything pre-translates, nothing falls
+	// back to the JIT.
+	if b := r.Mean("aotBlocks"); b == 0 {
+		t.Error("AOT pre-translated no blocks")
+	}
+	if f := r.Mean("jitFallbacks"); f != 0 {
+		t.Errorf("AOT mean JIT fallbacks %.2f, want 0 (incomplete CFG recovery)", f)
+	}
+}

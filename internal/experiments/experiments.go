@@ -155,6 +155,7 @@ func Registry() []struct {
 		{"staticalign", StaticAlignStudy},
 		{"sitehist", SiteHistogram},
 		{"speh", SPEHStudy},
+		{"aot", AOTStudy},
 		{"faults", FaultStudy},
 	}
 }

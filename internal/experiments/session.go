@@ -36,6 +36,7 @@ type Config struct {
 	IBTC         bool // indirect-branch translation cache (ablation)
 	Superblocks  bool // phase-2 trace formation (ablation)
 	StaticAlign  bool // static alignment analysis layer (PR 3)
+	AOT          bool // ahead-of-time whole-binary pre-translation (PR 8)
 }
 
 // mechanism resolves the configured mechanism ID (Policy wins over Mech).
@@ -51,7 +52,7 @@ func (c Config) mechanism() (core.Mechanism, error) {
 }
 
 func (c Config) key() string {
-	return fmt.Sprintf("%d/%s/%d/%v%v%v%v%v%v%v%v%v", c.Mech, c.Policy, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks, c.StaticAlign)
+	return fmt.Sprintf("%d/%s/%d/%v%v%v%v%v%v%v%v%v%v", c.Mech, c.Policy, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks, c.StaticAlign, c.AOT)
 }
 
 // String names the configuration for reports.
@@ -89,6 +90,9 @@ func (c Config) String() string {
 	}
 	if c.StaticAlign {
 		s += "+staticalign"
+	}
+	if c.AOT {
+		s += "+aot"
 	}
 	return s
 }
@@ -275,7 +279,14 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	opt.NoChain = cfg.NoChain
 	opt.IBTC = cfg.IBTC
 	opt.Superblocks = cfg.Superblocks
-	opt.StaticAlign = cfg.StaticAlign
+	// OR-preserving: DefaultOptions("aot") pre-sets StaticAlign and AOT;
+	// the config flags add the layers over other bases without clearing
+	// those defaults.
+	opt.StaticAlign = cfg.StaticAlign || opt.StaticAlign
+	opt.AOT = cfg.AOT || opt.AOT
+	if opt.AOT {
+		opt.StaticAlign = true
+	}
 	if pm, ok := policy.ByID(int(mech)); ok && pm.UsesStaticProfile() {
 		opt.StaticSites, err = s.trainSites(name)
 		if err != nil {

@@ -1,0 +1,18 @@
+package policy
+
+// aot is the ahead-of-time tier's site strategy (DESIGN.md §13): all
+// reachable blocks are pre-translated offline from the recovered CFG, so
+// there is no interpretation phase to profile in. Site shapes come from
+// the static alignment analysis (the engine forces the StaticAlign layer
+// on for AOT): proven-aligned sites run plain, proven-misaligned sites
+// inline the MDA sequence, and unknown sites fall through to this base —
+// optimistic plain operations with an exception-handling backstop, so a
+// statically undecidable site costs one trap-and-patch, exactly like the
+// EH mechanism, rather than a pessimistic eager sequence.
+type aot struct{ Base }
+
+func (aot) Name() string { return "aot" }
+
+func (aot) SitePolicy(SiteCtx) SitePolicy { return Plain }
+
+func (aot) OnMisalignTrap(TrapCtx) Action { return Patch }

@@ -97,7 +97,7 @@ func Entries() []Entry {
 // The built-in mechanisms register here, in one init so their IDs are
 // fixed by this list alone (per-file init order would depend on file
 // names): IDs 0..4 mirror the historical core.Mechanism constants, 5 is
-// the SPEH hybrid this seam was built to host.
+// the SPEH hybrid this seam was built to host, 6 the ahead-of-time tier.
 func init() {
 	Register(Entry{
 		Name:    "direct",
@@ -131,5 +131,10 @@ func init() {
 		Name:    "speh",
 		Summary: "static profiling plus exception handling: train-marked sites eager, late sites trap-and-patch",
 		New:     func() Mechanism { return speh{} },
+	})
+	Register(Entry{
+		Name:    "aot",
+		Summary: "whole-binary ahead-of-time pre-translation from the recovered CFG; align verdicts pick site shapes, traps patch the leftovers",
+		New:     func() Mechanism { return aot{} },
 	})
 }
