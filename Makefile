@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_COUNT ?= 10
 
-.PHONY: all build test race bench bench-smoke bench-json fmt vet lint mech-smoke serve-chaos fault-chaos
+.PHONY: all build test race bench bench-smoke bench-json trace-bench golden-matrix fmt vet lint mech-smoke serve-chaos fault-chaos
 
 all: build test
 
@@ -21,9 +21,12 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/perfbench/
 
-# One iteration per benchmark across the repo — the CI smoke job.
+# One iteration per benchmark across the repo — the CI smoke job. The
+# perfbench suite includes the traced dispatch-loop config
+# (BenchmarkDispatchLoopTraced), so the trace tier is exercised here too.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	$(GO) test -run '^TestSteadyStateAllocs$$|^TestSuiteRuns$$' ./internal/perfbench/
 
 # Pool chaos suite under the race detector: ≥8 concurrent sessions with
 # faults firing at every injection point, results checked bit-identical
@@ -48,6 +51,19 @@ mech-smoke:
 # Machine-readable summary (guest MIPS, ns/guest-inst, allocs) → BENCH_2.json.
 bench-json:
 	$(GO) run ./cmd/mdaeval -benchjson BENCH_2.json
+
+# Dispatch-tax measurement: the generic dispatch loop vs the direct-chaining
+# trace tier, back to back in one process (the only fair comparison on a
+# shared machine) → BENCH_3.json.
+trace-bench:
+	$(GO) run ./cmd/mdaeval -tracebench BENCH_3.json
+
+# The golden equivalence matrix under the race detector: the 144 pinned
+# fingerprints, the engine-reuse replay, and the trace-tier parity sweep
+# (every matrix config re-run with Options.Traces — fingerprints must match
+# the untraced goldens bit for bit).
+golden-matrix:
+	$(GO) test -race -run 'TestMechanismEquivalence|TestEngineReuseEquivalence|TestTraceTierFingerprintParity' -v ./internal/core
 
 fmt:
 	gofmt -l .

@@ -54,6 +54,7 @@ func main() {
 	ibtc := flag.Bool("ibtc", false, "enable the indirect-branch translation cache")
 	adaptive := flag.Bool("adaptive", false, "enable §IV-D adaptive sites (DPEH)")
 	superblocks := flag.Bool("superblocks", false, "enable phase-2 trace formation (DPEH/dynprof)")
+	traces := flag.Bool("traces", false, "enable the IR-less direct-chaining trace execution tier (simulation-invisible; see -dump for annotations)")
 	staticalign := flag.Bool("staticalign", false, "layer the static alignment analysis over the mechanism")
 	aotFlag := flag.Bool("aot", false, "pre-translate the whole binary ahead of time from the recovered CFG (implies -staticalign)")
 	lint := flag.Bool("lint", false, "run the translation verifier over every emitted block after the run")
@@ -91,6 +92,7 @@ func main() {
 	opt.IBTC = *ibtc
 	opt.Adaptive = *adaptive
 	opt.Superblocks = *superblocks
+	opt.Traces = *traces
 	// The aot mechanism's DefaultOptions pre-sets AOT and StaticAlign; the
 	// flags add the layers over other bases without clearing those.
 	opt.StaticAlign = *staticalign || opt.StaticAlign
@@ -257,6 +259,11 @@ func main() {
 		fmt.Printf("aot:              %d blocks pre-translated, %d hits, %d jit fallbacks\n",
 			s.AOTBlocks, s.AOTHits, s.AOTFallbacks)
 	}
+	if opt.Traces {
+		ts := eng.TraceStats()
+		fmt.Printf("trace tier:       %d formed, %d chain follows, %d invalidations, %d host insts traced\n",
+			ts.Formed, ts.ChainFollows, ts.Invalidations, ts.TracedInsts)
+	}
 	if *lint {
 		findings := eng.Lint()
 		for _, f := range findings {
@@ -286,6 +293,10 @@ func main() {
 			if err != nil {
 				fail("dump %#x: %v", pc, err)
 			}
+			fmt.Print(out)
+		}
+		if out := eng.DumpTraces(); out != "" {
+			fmt.Println()
 			fmt.Print(out)
 		}
 	}

@@ -14,12 +14,16 @@
 //	                  {"bench": "164.gzip", "input":"ref"} run a benchmark model, or
 //	                  {"faultprog": "straddle-store-fault"} run a guest-fault workload
 //	                optional fields: "mech" (policy name), "budget",
-//	                "deadline_ms", "threshold". A run ending in a
+//	                "deadline_ms", "threshold", "traces" (enable the
+//	                direct-chaining trace tier; simulated results are
+//	                bit-identical, the response gains trace counters). A run ending in a
 //	                guest-visible memory fault returns HTTP 422 with the
 //	                faulting guest PC and address in "guest_fault".
 //	GET  /healthz — pool health snapshot (503 while draining).
 //	GET  /statsz  — cumulative serving counters, including AOT cache hits
-//	                vs JIT fallbacks (cold-start observability).
+//	                vs JIT fallbacks (cold-start observability) and
+//	                trace-tier totals (traces_formed, chain_follows,
+//	                trace_invalidations) across "traces":true runs.
 //
 // Requests running the "aot" mechanism on a benchmark adopt a cached
 // ahead-of-time image (built once per benchmark): the engine pre-seeds its
@@ -62,6 +66,7 @@ type runRequest struct {
 	FaultProg  string `json:"faultprog,omitempty"` // built-in guest-fault workload
 	Input      string `json:"input,omitempty"`     // "train" or "ref" (default)
 	Mech       string `json:"mech,omitempty"`
+	Traces     bool   `json:"traces,omitempty"` // enable the direct-chaining trace tier
 	Threshold  uint64 `json:"threshold,omitempty"`
 	Budget     uint64 `json:"budget,omitempty"`
 	DeadlineMS int64  `json:"deadline_ms,omitempty"`
@@ -89,6 +94,12 @@ type runResponse struct {
 	AOTBlocks    uint64 `json:"aot_blocks,omitempty"`
 	AOTHits      uint64 `json:"aot_hits,omitempty"`
 	JITFallbacks uint64 `json:"jit_fallbacks,omitempty"`
+	// Trace-tier telemetry (present on "traces":true runs). Host-side
+	// only: the simulated counters above are bit-identical with the tier
+	// on or off.
+	TracesFormed       uint64 `json:"traces_formed,omitempty"`
+	ChainFollows       uint64 `json:"chain_follows,omitempty"`
+	TraceInvalidations uint64 `json:"trace_invalidations,omitempty"`
 }
 
 type errorResponse struct {
@@ -123,6 +134,11 @@ type app struct {
 	aotRuns      atomic.Uint64 // runs served under the aot mechanism
 	aotHits      atomic.Uint64 // dispatches into pre-translated blocks
 	jitFallbacks atomic.Uint64 // dynamic translations despite AOT
+
+	// Trace-tier counters, summed across "traces":true runs.
+	tracesFormed       atomic.Uint64 // step-list traces built
+	chainFollows       atomic.Uint64 // direct trace-to-trace transfers
+	traceInvalidations atomic.Uint64 // traces dropped (SMC, flush, reset)
 }
 
 func newApp(srv *serve.Server, mech core.Mechanism, deadline time.Duration) *app {
@@ -213,6 +229,7 @@ func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
 	if body.Threshold != 0 {
 		opt.HeatThreshold = body.Threshold
 	}
+	opt.Traces = body.Traces
 
 	req := serve.Request{Options: &opt, Budget: body.Budget, Timeout: a.deadline}
 	if body.DeadlineMS > 0 {
@@ -306,11 +323,20 @@ func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
 		AOTBlocks:     res.Stats.AOTBlocks,
 		AOTHits:       res.Stats.AOTHits,
 		JITFallbacks:  res.Stats.AOTFallbacks,
+
+		TracesFormed:       res.Traces.Formed,
+		ChainFollows:       res.Traces.ChainFollows,
+		TraceInvalidations: res.Traces.Invalidations,
 	}
 	for i := range resp.Regs {
 		resp.Regs[i] = res.CPU.R[guest.Reg(i)]
 	}
 	a.runs.Add(1)
+	if opt.Traces {
+		a.tracesFormed.Add(res.Traces.Formed)
+		a.chainFollows.Add(res.Traces.ChainFollows)
+		a.traceInvalidations.Add(res.Traces.Invalidations)
+	}
 	if opt.AOT {
 		a.aotRuns.Add(1)
 		a.aotHits.Add(res.Stats.AOTHits)
@@ -330,6 +356,12 @@ type statsResponse struct {
 	AOTRuns      uint64 `json:"aot_runs"`
 	AOTHits      uint64 `json:"aot_hits"`
 	JITFallbacks uint64 `json:"jit_fallbacks"`
+	// Trace-tier totals across "traces":true runs: how much dispatch tax
+	// the pool's engines avoided, and how often invalidation severed the
+	// chains (SMC, flushes, engine resets).
+	TracesFormed       uint64 `json:"traces_formed"`
+	ChainFollows       uint64 `json:"chain_follows"`
+	TraceInvalidations uint64 `json:"trace_invalidations"`
 }
 
 func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -338,6 +370,10 @@ func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
 		AOTRuns:      a.aotRuns.Load(),
 		AOTHits:      a.aotHits.Load(),
 		JITFallbacks: a.jitFallbacks.Load(),
+
+		TracesFormed:       a.tracesFormed.Load(),
+		ChainFollows:       a.chainFollows.Load(),
+		TraceInvalidations: a.traceInvalidations.Load(),
 	})
 }
 

@@ -181,6 +181,10 @@ func (c *Cache) Reset() {
 // LineSize returns the line size in bytes.
 func (c *Cache) LineSize() int { return c.cfg.LineSize }
 
+// LineShift returns log2(LineSize), for callers that memoize
+// line-granular probe results.
+func (c *Cache) LineShift() uint { return c.lineShift }
+
 // Hierarchy is the two-level split-L1 hierarchy of the ES40. A probe charges
 // 0 extra cycles on an L1 hit, L2.HitLatency on an L1 miss that hits in L2,
 // and MemLatency when both miss.

@@ -146,8 +146,28 @@ type Options struct {
 	// (DynamicProfile/DPEH): a hot block is translated together with its
 	// dominant successors, laid out fall-through, with cold side exits.
 	// This is the "hot regions … retranslated and further optimized" step
-	// of the paper's two-phase framework (§III-C, Fig. 9).
+	// of the paper's two-phase framework (§III-C, Fig. 9). Under AOT the
+	// dominant-successor profile does not exist, so formation falls back
+	// to static traces: only always-taken edges (direct jumps and block
+	// splits) are folded, never conditional branches.
 	Superblocks bool
+
+	// Traces enables the IR-less direct-chaining execution tier (DESIGN.md
+	// §14): once a translated block is dispatched natively, the host
+	// machine pre-resolves its instructions into a flat step list and
+	// subsequent executions run the steps directly — no per-instruction
+	// fetch/decode — chaining through patched exit branches into successor
+	// traces without returning to the dispatcher. The tier is
+	// simulation-invisible: guest state, machine counters, and engine
+	// statistics are bit-identical with it on or off; only wall-clock
+	// simulation speed changes. Host-side telemetry (traces formed, chain
+	// follows, invalidations) is reported separately via Engine.TraceStats.
+	Traces bool
+	// TraceHeat is the number of native dispatches a translated block
+	// absorbs before a trace is built over it. The default (1) traces on
+	// the first native dispatch; larger values skip trace-building work
+	// for blocks that never get hot. Requires Traces.
+	TraceHeat int
 
 	// IBTC enables an inline indirect-branch translation cache for RET
 	// targets: a 256-entry direct-mapped guest-PC→host-PC table probed in
@@ -324,6 +344,9 @@ func (o *Options) normalize() {
 	if o.PatchRetryLimit == 0 {
 		o.PatchRetryLimit = d.PatchRetryLimit
 	}
+	if o.Traces && o.TraceHeat == 0 {
+		o.TraceHeat = 1
+	}
 }
 
 // buildMechanism constructs the strategy object for the options: the base
@@ -401,8 +424,12 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: MultiVersion needs interpretation profiles, which AOT pre-translation never gathers")
 	case o.AOT && o.Adaptive:
 		return fmt.Errorf("core: Adaptive needs interpretation profiles, which AOT pre-translation never gathers")
-	case o.AOT && o.Superblocks:
-		return fmt.Errorf("core: Superblocks form traces from interpretation heat, which AOT pre-translation never gathers")
+	case o.Superblocks && o.MVBlockGranularity:
+		return fmt.Errorf("core: Superblocks cannot splice block-granularity multi-version code: the one alignment check at the first mixed site would guard sites of every folded block; use per-site MultiVersion with Superblocks, or drop MVBlockGranularity")
+	case o.TraceHeat < 0:
+		return fmt.Errorf("core: TraceHeat %d is negative; use a positive dispatch count (1 traces on first native dispatch)", o.TraceHeat)
+	case o.TraceHeat != 0 && !o.Traces:
+		return fmt.Errorf("core: TraceHeat tunes the trace tier but Traces is off; set Traces to enable the direct-chaining tier")
 	case o.AOTBlocks != nil && !o.AOT:
 		return fmt.Errorf("core: AOTBlocks is an AOT image schedule; set AOT to adopt it")
 	}

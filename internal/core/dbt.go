@@ -194,6 +194,9 @@ func (e *Engine) configure(opt Options) {
 	}
 	e.Mach.SetMisalignHandler(e.handleMisalign)
 	e.Mach.SetAccessFaultHandler(e.handleAccessFault)
+	// The trace tier is machine state, so (re)configuration — including
+	// Engine.Reset reuse — re-arms or drops it to match the options.
+	e.Mach.EnableTraces(opt.Traces)
 	e.writeFaultPad()
 	e.Mach.SetFaultPlan(nil)
 	if opt.FaultPlan != nil {
@@ -233,6 +236,17 @@ func (e *Engine) Stats() Stats {
 
 // Blocks returns the number of live translations.
 func (e *Engine) Blocks() int { return len(e.blocks) }
+
+// TraceStats returns the host-side trace-tier telemetry (traces formed,
+// chain follows, invalidations, traced host instructions). All zero when
+// Options.Traces is off. Deliberately not part of Stats: the tier is
+// simulation-invisible and its counters must never enter the simulated
+// fingerprint.
+func (e *Engine) TraceStats() machine.TraceStats { return e.Mach.TraceStats() }
+
+// TraceInfos returns every live machine trace (dump annotations and the
+// translation lint), ordered by start address.
+func (e *Engine) TraceInfos() []machine.TraceInfo { return e.Mach.TraceInfos() }
 
 // Block lookup table geometry: 4096 direct-mapped entries indexed by the
 // low bits of the guest PC.
@@ -630,6 +644,9 @@ func (e *Engine) RunContext(ctx context.Context, entry uint32, maxHostInsts uint
 			if b.aot {
 				e.stats.AOTHits++
 			}
+			if e.Opt.Traces {
+				e.maybeTrace(b)
+			}
 			e.syncToHost()
 			e.Mach.SetPC(b.hostEntry)
 		}
@@ -725,6 +742,31 @@ func (e *Engine) maybeLink(ex *exit) {
 	tb.incoming = append(tb.incoming, ex)
 	e.event(EvLink, ex.targetGuest, ex.hostPC, "")
 	e.stats.Links++
+	if e.Opt.Traces {
+		// The patch just severed any trace covering the exiting unit (the
+		// stub sits inside its host span). Links happen once per edge, so
+		// reseeding immediately — with the exit now a direct branch the new
+		// trace chains straight into the target — is cheap and bounded.
+		e.maybeTrace(ex.from)
+	}
+}
+
+// maybeTrace seeds the machine's direct-chaining trace tier over a
+// translated unit once it has absorbed Options.TraceHeat native
+// dispatches. Purely a host-side accelerator: success or failure never
+// changes simulated state. A failed build (an instruction form the tier
+// does not pre-resolve) is latched so the dispatcher stops retrying.
+func (e *Engine) maybeTrace(b *block) {
+	if b.notrace || b.invalid || e.Mach.HasTrace(b.hostEntry) {
+		return
+	}
+	b.runs++
+	if b.runs < e.Opt.TraceHeat {
+		return
+	}
+	if !e.Mach.BuildTrace(b.hostEntry, b.hostEntry+b.hostSize) {
+		b.notrace = true
+	}
 }
 
 // stubKind maps a faulting host memory opcode to the MDA sequence the

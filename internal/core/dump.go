@@ -9,6 +9,38 @@ import (
 	"mdabt/internal/host"
 )
 
+// DumpTraces renders every live machine trace: its id, host code span,
+// compacted step count, the member translations it covers (guest PC and
+// kind), its static side-exit targets, and the memoized chain links it has
+// followed. Empty when the trace tier is off or nothing has been traced.
+func (e *Engine) DumpTraces() string {
+	infos := e.Mach.TraceInfos()
+	if len(infos) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, ti := range infos {
+		fmt.Fprintf(&sb, "trace %d: host [%#x,%#x), %d steps\n", ti.ID, ti.Start, ti.End, ti.Steps)
+		for _, sp := range e.blockSpans {
+			if sp.lo >= ti.End || sp.hi <= ti.Start {
+				continue
+			}
+			unit := "block"
+			if sp.b.nblocks > 1 {
+				unit = fmt.Sprintf("superblock(%d blocks)", sp.b.nblocks)
+			}
+			fmt.Fprintf(&sb, "  member %s %#x: host [%#x,%#x)\n", unit, sp.b.guestPC, sp.lo, sp.hi)
+		}
+		for _, x := range ti.Exits {
+			fmt.Fprintf(&sb, "  side exit -> host %#x\n", x)
+		}
+		for _, l := range ti.Links {
+			fmt.Fprintf(&sb, "  chain %#x -> %#x\n", l.FromPC, l.ToPC)
+		}
+	}
+	return sb.String()
+}
+
 // DumpBlock renders the translation of the block at guest pc: the guest
 // instructions side by side with the emitted host code, annotated with the
 // per-site policy artifacts (patched branches show up as the patched

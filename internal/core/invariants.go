@@ -229,6 +229,25 @@ func (e *Engine) CheckInvariants() error {
 		}
 	}
 
+	// Trace tier: the machine's side tables (PC lookup, live-trace list,
+	// threaded step pointers, memoized chain links) must be mutually
+	// coherent, the tier must be armed exactly when the options ask for
+	// it, and every live trace must cover allocated code-cache words — a
+	// trace outliving its code would replay stale instructions.
+	if err := e.Mach.CheckTraceCoherence(); err != nil {
+		return fmt.Errorf("core: invariant: %w", err)
+	}
+	if e.Mach.TracesEnabled() != e.Opt.Traces {
+		return fmt.Errorf("core: invariant: machine trace tier enabled=%v disagrees with Options.Traces=%v",
+			e.Mach.TracesEnabled(), e.Opt.Traces)
+	}
+	for _, ti := range e.Mach.TraceInfos() {
+		if ti.Start < cc.base || ti.End > cc.blockNext {
+			return fmt.Errorf("core: invariant: trace %d span [%#x,%#x) outside the allocated block zone [%#x,%#x)",
+				ti.ID, ti.Start, ti.End, cc.base, cc.blockNext)
+		}
+	}
+
 	// Static translation verifier (after the structural checks, so targeted
 	// corruption diagnoses above take precedence): every live block's
 	// emitted words and metadata must account for each other — every

@@ -875,8 +875,15 @@ func (e *Engine) translate(pc uint32) (*block, error) {
 	}
 	edges := map[int]traceEdge{}
 	nblocks := 1
-	if e.Opt.Superblocks && e.profiled {
-		insts, lens, pcs, edges, nblocks, err = e.formTrace(pc, insts, lens, pcs)
+	if e.Opt.Superblocks {
+		switch {
+		case e.profiled:
+			insts, lens, pcs, edges, nblocks, err = e.formTrace(pc, insts, lens, pcs)
+		case e.Opt.AOT:
+			// No interpretation profile exists ahead of time, so the AOT
+			// tier folds only edges that are taken on every execution.
+			insts, lens, pcs, edges, nblocks, err = e.formStaticTrace(pc, insts, lens, pcs)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -1054,6 +1061,54 @@ func (e *Engine) formTrace(head uint32, insts []guest.Inst, lens []int, pcs []ui
 		visited[next] = true
 		nblocks++
 		cur = next
+	}
+	return insts, lens, pcs, edges, nblocks, nil
+}
+
+// formStaticTrace is formTrace for the profile-less AOT tier: it extends
+// the block only along edges that are taken on every execution — direct
+// jumps and block splits (a block cut short because another block starts
+// at its fall-through). Conditional branches end the trace: without a
+// profile there is no dominant arm to speculate on, and folding the wrong
+// one would pessimize the straight-line layout AOT exists to provide.
+func (e *Engine) formStaticTrace(head uint32, insts []guest.Inst, lens []int, pcs []uint32) (
+	[]guest.Inst, []int, []uint32, map[int]traceEdge, int, error) {
+	edges := map[int]traceEdge{}
+	visited := map[uint32]bool{head: true}
+	nblocks := 1
+	for nblocks < maxTraceBlocks && len(insts) < maxTraceInsts {
+		last := len(insts) - 1
+		term := insts[last]
+		termNext := pcs[last] + uint32(lens[last])
+		var next uint32
+		fold := false
+		switch term.Op {
+		case guest.JMP:
+			next, fold = termNext+uint32(term.Rel), true
+		default:
+			if term.Op.EndsBlock() {
+				return insts, lens, pcs, edges, nblocks, nil
+			}
+			next = termNext // block split: fall-through is unconditional
+		}
+		if visited[next] {
+			break
+		}
+		nInsts, nLens, nPCs, err := e.decodeBlock(next)
+		if err != nil {
+			return nil, nil, nil, nil, 0, err
+		}
+		if len(insts)+len(nInsts) > maxTraceInsts {
+			break
+		}
+		if fold {
+			edges[last] = traceEdge{skip: true}
+		}
+		insts = append(insts, nInsts...)
+		lens = append(lens, nLens...)
+		pcs = append(pcs, nPCs...)
+		visited[next] = true
+		nblocks++
 	}
 	return insts, lens, pcs, edges, nblocks, nil
 }

@@ -152,6 +152,7 @@ func Registry() []struct {
 		{"ablation-chaining", ChainingAblation},
 		{"ablation-ibtc", IBTCAblation},
 		{"ablation-superblocks", SuperblockAblation},
+		{"traces", TracesStudy},
 		{"staticalign", StaticAlignStudy},
 		{"sitehist", SiteHistogram},
 		{"speh", SPEHStudy},
@@ -553,5 +554,39 @@ func SuperblockAblation(s *Session) (*Result, error) {
 		return nil
 	})
 	r.Notes = append(r.Notes, "gains are modest on this simulator (chained block exits are already cheap); the traces column shows formation activity")
+	return r, err
+}
+
+// TracesStudy measures the IR-less direct-chaining execution tier (DESIGN.md
+// §14) per benchmark: how much of the run retires inside step-list traces
+// instead of the generic dispatch loop, how many dispatcher round trips the
+// memoized chain links absorb, and — the tier's core contract — that the
+// simulated results are bit-identical with it on or off (the Δcycles column
+// must be all zeros).
+func TracesStudy(s *Session) (*Result, error) {
+	names := selectedNames()
+	r := newResult("traces", "Direct-chaining trace tier: coverage, chain follows, and simulation invisibility (over DPEH)",
+		names, "traced%", "follows/1e3", "formed", "Δcycles")
+	err := s.forEach(names, func(name string) error {
+		b, err := s.Run(name, Config{Mech: core.DPEH})
+		if err != nil {
+			return err
+		}
+		v, err := s.Run(name, Config{Mech: core.DPEH, Traces: true})
+		if err != nil {
+			return err
+		}
+		if v.Counters != b.Counters {
+			return fmt.Errorf("experiments: %s: trace tier perturbed the simulation: %+v vs %+v", name, v.Counters, b.Counters)
+		}
+		r.set("traced%", name, 100*float64(v.Traces.TracedInsts)/float64(v.Counters.Insts))
+		r.set("follows/1e3", name, float64(v.Traces.ChainFollows)/1e3)
+		r.set("formed", name, float64(v.Traces.Formed))
+		r.set("Δcycles", name, float64(v.Counters.Cycles)-float64(b.Counters.Cycles))
+		return nil
+	})
+	r.Notes = append(r.Notes,
+		"traced% is the share of host instructions retired by the trace executor; Δcycles is asserted zero (bit-identical simulation)",
+		"wall-clock speedup is measured apples-to-apples by `make trace-bench` (BENCH_3.json)")
 	return r, err
 }

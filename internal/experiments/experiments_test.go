@@ -42,7 +42,7 @@ func runExp(t *testing.T, id string) *Result {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "table4", "adaptive", "ablation-chaining", "ablation-ibtc", "ablation-superblocks", "staticalign", "sitehist", "speh", "aot", "faults"}
+	want := []string{"table1", "table2", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "table4", "adaptive", "ablation-chaining", "ablation-ibtc", "ablation-superblocks", "traces", "staticalign", "sitehist", "speh", "aot", "faults"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

@@ -37,6 +37,7 @@ type Config struct {
 	Superblocks  bool // phase-2 trace formation (ablation)
 	StaticAlign  bool // static alignment analysis layer (PR 3)
 	AOT          bool // ahead-of-time whole-binary pre-translation (PR 8)
+	Traces       bool // IR-less direct-chaining execution tier (simulation-invisible)
 }
 
 // mechanism resolves the configured mechanism ID (Policy wins over Mech).
@@ -52,7 +53,7 @@ func (c Config) mechanism() (core.Mechanism, error) {
 }
 
 func (c Config) key() string {
-	return fmt.Sprintf("%d/%s/%d/%v%v%v%v%v%v%v%v%v%v", c.Mech, c.Policy, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks, c.StaticAlign, c.AOT)
+	return fmt.Sprintf("%d/%s/%d/%v%v%v%v%v%v%v%v%v%v%v", c.Mech, c.Policy, c.Threshold, c.Rearrange, c.Retranslate, c.MultiVersion, c.MVBlock, c.Adaptive, c.NoChain, c.IBTC, c.Superblocks, c.StaticAlign, c.AOT, c.Traces)
 }
 
 // String names the configuration for reports.
@@ -101,6 +102,9 @@ func (c Config) String() string {
 type RunResult struct {
 	Counters machine.Counters
 	Stats    core.Stats
+	// Traces is the host-side trace-tier telemetry (zero unless
+	// Config.Traces); it never feeds the simulated columns.
+	Traces machine.TraceStats
 }
 
 // Cycles returns the simulated runtime.
@@ -279,6 +283,7 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 	opt.NoChain = cfg.NoChain
 	opt.IBTC = cfg.IBTC
 	opt.Superblocks = cfg.Superblocks
+	opt.Traces = cfg.Traces
 	// OR-preserving: DefaultOptions("aot") pre-sets StaticAlign and AOT;
 	// the config flags add the layers over other bases without clearing
 	// those defaults.
@@ -319,7 +324,7 @@ func (s *Session) Run(name string, cfg Config) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("experiments: %s under %v: translation lint: %s (%d findings)",
 			name, cfg, findings[0], len(findings))
 	}
-	r = RunResult{Counters: mach.Counters(), Stats: e.Stats()}
+	r = RunResult{Counters: mach.Counters(), Stats: e.Stats(), Traces: e.TraceStats()}
 	s.mu.Lock()
 	s.runs[key] = r
 	s.mu.Unlock()

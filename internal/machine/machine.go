@@ -162,6 +162,25 @@ type Machine struct {
 	curLine   *iline
 	curLineID uint64
 	slotOpen  bool // an issue slot is open for an ALU-class instruction
+
+	// Trace tier (see trace.go). traces is the PC lookup table over every
+	// step of every live trace; nil means the tier is disabled. traceLo/
+	// traceHi bound the covered address range so the generic loop's
+	// redirect probe is a subtraction, not a map probe, when off-range.
+	traces    map[uint64]traceEntry
+	traceList map[uint64]*trace
+	traceLo   uint64
+	traceHi   uint64
+	traceSeq  uint64
+	traceVer  uint64 // bumped on build/flush; versions negative link caches
+	tstats    TraceStats
+	traceZero uint64 // pinned source for R31 reads in trace steps
+	traceSink uint64 // discard target for R31 writes in trace steps
+	// traceStall is set when the trace executor stops at a super-step
+	// head because the remaining budget cannot fit its atomic retire;
+	// runTraced consumes it and burns the tail generically, instruction
+	// by instruction, exactly as an untraced run would.
+	traceStall bool
 }
 
 const (
@@ -208,6 +227,7 @@ func (m *Machine) Reset() {
 	clear(m.farLines)
 	m.curLine, m.curLineID = nil, 0
 	m.slotOpen = false
+	m.clearTraceState()
 	if m.caches != nil {
 		m.caches.Reset()
 	}
@@ -291,9 +311,11 @@ func (m *Machine) IMB() {
 	clear(m.dense) // keep the window and its capacity; drop every line
 	clear(m.farLines)
 	m.curLine, m.curLineID = nil, 0
+	m.dropAllTraces()
 }
 
 func (m *Machine) invalidate(addr, size uint64) {
+	m.invalidateTraces(addr, size)
 	first := addr >> ilineShift
 	last := (addr + size - 1) >> ilineShift
 	for l := first; l <= last; l++ {
@@ -392,8 +414,30 @@ func (m *Machine) EmulateAccess(inst host.Inst, ea uint64) {
 // Run executes until a BRKBT, the instruction budget is exhausted, or an
 // execution error (undecodable instruction) occurs. On StopBrk/StopHalt the
 // PC is left at the instruction after the BRKBT and the payload is returned.
+//
+// With the trace tier enabled (EnableTraces + at least one BuildTrace) Run
+// drives execution through runTraced, which interleaves the pre-resolved
+// trace executor with generic segments. A machine with a fault-injection
+// plan installed always takes the generic loop so the injection stream is
+// identical with and without traces.
 func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
+	if m.traces == nil || m.faults != nil {
+		stop, payload, err, _ := m.runLoop(maxInsts, false)
+		return stop, payload, err
+	}
+	return m.runTraced(maxInsts)
+}
+
+// runLoop is the generic execution loop. With exitOnTrace set it returns
+// redirected=true (state fully synced, PC at the target) whenever a taken
+// branch or jump lands on a PC covered by a live trace, so runTraced can
+// switch to the trace executor. The probe is placed only on the taken-
+// branch and jump paths: executing traced PCs generically is bit-identical
+// anyway, so straight-line entry into a trace region is simply picked up
+// at the next control transfer (or never — harmlessly).
+func (m *Machine) runLoop(maxInsts uint64, exitOnTrace bool) (_ StopReason, _ uint32, _ error, redirected bool) {
 	p := &m.Params
+	tlo, tspan := m.traceLo, m.traceHi-m.traceLo
 	// The hottest loop in the simulator: the PC, current decoded I-line,
 	// issue-slot state, and the two per-instruction counters live in locals
 	// so each iteration runs out of registers instead of reloading Machine
@@ -424,7 +468,7 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 				m.pc = pc
 				m.counters.Insts = insts
 				m.slotOpen = slotOpen
-				return StopLimit, 0, err
+				return StopLimit, 0, err, false
 			}
 		}
 		insts++
@@ -440,9 +484,9 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 			m.counters.Insts, m.counters.Cycles = insts, cycles+p.BrkCycles
 			m.slotOpen = false
 			if inst.Payload == HaltService {
-				return StopHalt, inst.Payload, nil
+				return StopHalt, inst.Payload, nil, false
 			}
-			return StopBrk, inst.Payload, nil
+			return StopBrk, inst.Payload, nil, false
 
 		case host.FormatMem:
 			ea := m.Reg(inst.Rb) + uint64(int64(inst.Disp))
@@ -559,6 +603,15 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 				if !uncond {
 					cycles += p.TakenBranchCycles
 				}
+				if exitOnTrace && pc-tlo < tspan {
+					if _, ok := m.traces[pc]; ok {
+						m.pc = pc
+						m.curLine, m.curLineID = curLine, curLineID
+						m.counters.Insts, m.counters.Cycles = insts, cycles
+						m.slotOpen = slotOpen
+						return StopLimit, 0, nil, true
+					}
+				}
 			} else {
 				pc = nextPC
 			}
@@ -569,13 +622,22 @@ func (m *Machine) Run(maxInsts uint64) (StopReason, uint32, error) {
 			m.SetReg(inst.Ra, nextPC)
 			pc = target
 			cycles += p.TakenBranchCycles
+			if exitOnTrace && pc-tlo < tspan {
+				if _, ok := m.traces[pc]; ok {
+					m.pc = pc
+					m.curLine, m.curLineID = curLine, curLineID
+					m.counters.Insts, m.counters.Cycles = insts, cycles
+					m.slotOpen = slotOpen
+					return StopLimit, 0, nil, true
+				}
+			}
 		}
 	}
 	m.pc = pc
 	m.curLine, m.curLineID = curLine, curLineID
 	m.counters.Insts, m.counters.Cycles = insts, cycles
 	m.slotOpen = slotOpen
-	return StopLimit, 0, nil
+	return StopLimit, 0, nil, false
 }
 
 // misalignTrap charges the trap cost and dispatches to the handler. With a

@@ -1,0 +1,831 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mdabt/internal/faultinject"
+	"mdabt/internal/host"
+	"mdabt/internal/mem"
+)
+
+// The trace tier's whole contract is bit-identical simulation: a machine
+// with traces built over any subset of the code must produce exactly the
+// same architectural state and Counters as the generic loop, instruction
+// for instruction, including trap paths and budget exhaustion mid-trace.
+// These tests enforce that contract directly at the machine level; the
+// core-level golden matrix enforces it end to end.
+
+const trDataBase = 0x100000
+
+type trSnap struct {
+	Stop    StopReason
+	Payload uint32
+	Err     bool
+	PC      uint64
+	Regs    [host.NumRegs]uint64
+	C       Counters
+}
+
+func trRun(m *Machine, budget uint64) trSnap {
+	stop, payload, err := m.Run(budget)
+	s := trSnap{Stop: stop, Payload: payload, Err: err != nil, PC: m.PC(), C: m.Counters()}
+	for r := 0; r < host.NumRegs; r++ {
+		s.Regs[r] = m.Reg(host.Reg(r))
+	}
+	return s
+}
+
+func trSeedData(m *Machine) {
+	for i := uint64(0); i < 4096; i++ {
+		m.Mem.Write(trDataBase+i, (i*2654435761)>>3, 1)
+	}
+}
+
+// trProgram assembles a program and returns its words.
+func trProgram(t *testing.T, base uint64, build func(a *host.Asm)) []uint32 {
+	t.Helper()
+	a := host.NewAsm(base)
+	build(a)
+	words, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return words
+}
+
+// trCompare runs words on a generic machine and on trace-enabled machines
+// (one trace over the whole span, and one with traces over alternating
+// chunks so control crosses trace/generic boundaries both ways), asserting
+// bit-identical outcomes at every budget.
+func trCompare(t *testing.T, base uint64, words []uint32, budgets []uint64, caches bool, chunk int) {
+	t.Helper()
+	trCompareArm(t, base, words, budgets, caches, chunk, nil)
+}
+
+// trCompareArm is trCompare with a hook that arms identical extra machine
+// state (e.g. page protections) on every compared machine before running.
+func trCompareArm(t *testing.T, base uint64, words []uint32, budgets []uint64, caches bool, chunk int, arm func(m *Machine)) {
+	t.Helper()
+	for _, budget := range budgets {
+		ref := newMachine(caches)
+		trSeedData(ref)
+		if arm != nil {
+			arm(ref)
+		}
+		ref.WriteCode(base, words)
+		ref.SetPC(base)
+		want := trRun(ref, budget)
+
+		for _, variant := range []string{"whole", "chunks"} {
+			m := newMachine(caches)
+			trSeedData(m)
+			if arm != nil {
+				arm(m)
+			}
+			m.WriteCode(base, words)
+			m.SetPC(base)
+			m.EnableTraces(true)
+			switch variant {
+			case "whole":
+				if !m.BuildTrace(base, base+uint64(len(words))*host.InstBytes) {
+					t.Fatalf("BuildTrace over whole span failed")
+				}
+			case "chunks":
+				for start := 0; start < len(words); start += 2 * chunk {
+					end := start + chunk
+					if end > len(words) {
+						end = len(words)
+					}
+					if !m.BuildTrace(base+uint64(start)*host.InstBytes, base+uint64(end)*host.InstBytes) {
+						t.Fatalf("BuildTrace over chunk [%d,%d) failed", start, end)
+					}
+				}
+			}
+			got := trRun(m, budget)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("variant=%s budget=%d caches=%v:\n got %+v\nwant %+v\n(trace stats %+v)",
+					variant, budget, caches, got, want, m.TraceStats())
+			}
+			if err := m.CheckTraceCoherence(); err != nil {
+				t.Fatalf("variant=%s: coherence after run: %v", variant, err)
+			}
+			if variant == "whole" && budget > 10 && m.TraceStats().TracedInsts == 0 {
+				t.Fatalf("whole-span trace retired no instructions (tier never engaged)")
+			}
+		}
+	}
+}
+
+func TestTraceParityRandomPrograms(t *testing.T) {
+	aluOps := []host.Op{
+		host.ADDL, host.ADDQ, host.SUBL, host.SUBQ, host.CMPEQ, host.CMPLT,
+		host.CMPULE, host.AND, host.BIC, host.BIS, host.ORNOT, host.XOR,
+		host.EQV, host.SLL, host.SRL, host.SRA, host.EXTBL, host.EXTLH,
+		host.INSWL, host.MSKQL,
+	}
+	memOps := []host.Op{
+		host.LDBU, host.LDWU, host.LDL, host.LDQ, host.LDQU,
+		host.STB, host.STW, host.STL, host.STQ, host.STQU,
+	}
+	condOps := []host.Op{
+		host.BEQ, host.BNE, host.BLT, host.BLE, host.BGT, host.BGE,
+		host.BLBC, host.BLBS,
+	}
+	regW := []host.Reg{host.R1, host.R2, host.R3, host.R4, host.R5, host.R6, host.R7, host.R8}
+	regR := append([]host.Reg{host.R31}, regW...)
+
+	const base = 0x1000
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(80)
+		words := trProgram(t, base, func(a *host.Asm) {
+			a.MovImm(host.R9, trDataBase)
+			for _, r := range regW {
+				a.MovImm(r, int64(rng.Uint64()>>16))
+			}
+			for i := 0; i < n; i++ {
+				a.Label(fmt.Sprintf("L%d", i))
+				switch rng.Intn(12) {
+				case 0, 1, 2, 3:
+					op := aluOps[rng.Intn(len(aluOps))]
+					if rng.Intn(2) == 0 {
+						a.OprLit(op, regR[rng.Intn(len(regR))], uint8(rng.Intn(256)), regW[rng.Intn(len(regW))])
+					} else {
+						a.Opr(op, regR[rng.Intn(len(regR))], regR[rng.Intn(len(regR))], regW[rng.Intn(len(regW))])
+					}
+				case 4:
+					a.Opr(host.MULQ, regR[rng.Intn(len(regR))], regR[rng.Intn(len(regR))], regW[rng.Intn(len(regW))])
+				case 5:
+					// LDA/LDAH address arithmetic off the data base so
+					// register values stay in the data page's neighbourhood.
+					if rng.Intn(2) == 0 {
+						a.Mem(host.LDA, regW[rng.Intn(len(regW))], int32(rng.Intn(128)-64), host.R9)
+					} else {
+						a.Mem(host.LDAH, regW[rng.Intn(len(regW))], 0, host.R31)
+					}
+				case 6, 7, 8, 9:
+					// Memory traffic off the fixed data base: displacements
+					// land aligned and misaligned, so the default-fixup
+					// misalignment trap path runs under traces too.
+					op := memOps[rng.Intn(len(memOps))]
+					a.Mem(op, regW[rng.Intn(len(regW))], int32(rng.Intn(512)), host.R9)
+				case 10:
+					// Mostly-forward conditional branches; occasional backward
+					// edges are budget-bounded by the comparison harness.
+					var target int
+					if rng.Intn(4) == 0 {
+						target = rng.Intn(i + 1)
+					} else {
+						target = i + 1 + rng.Intn(n-i)
+					}
+					label := fmt.Sprintf("L%d", target)
+					if target >= n {
+						label = "Lend"
+					}
+					a.Br(condOps[rng.Intn(len(condOps))], regR[rng.Intn(len(regR))], label)
+				case 11:
+					target := i + 1 + rng.Intn(n-i)
+					label := fmt.Sprintf("L%d", target)
+					if target >= n {
+						label = "Lend"
+					}
+					a.Br(host.BR, host.R31, label)
+				}
+			}
+			a.Label("Lend")
+			a.Brk(HaltService)
+		})
+		caches := seed%2 == 0
+		chunk := 4 + rng.Intn(9)
+		trCompare(t, base, words, []uint64{13, 200000}, caches, chunk)
+	}
+}
+
+func TestTraceParityKernels(t *testing.T) {
+	const base = 0x1000
+	kernels := map[string]func(a *host.Asm){
+		// A counted loop with aligned+misaligned memory traffic — backward
+		// in-trace branch, the shape the dispatch-loop bench measures.
+		"loop": func(a *host.Asm) {
+			a.MovImm(host.R9, trDataBase)
+			a.MovImm(host.R1, 50)
+			a.Label("top")
+			a.Mem(host.LDQ, host.R2, 0, host.R9)
+			a.OprLit(host.ADDQ, host.R2, 3, host.R2)
+			a.Mem(host.LDL, host.R3, 1, host.R9) // misaligned: traps, default fixup
+			a.Opr(host.XOR, host.R2, host.R3, host.R4)
+			a.Mem(host.STQ, host.R4, 8, host.R9)
+			a.OprLit(host.SUBQ, host.R1, 1, host.R1)
+			a.Br(host.BNE, host.R1, "top")
+			a.Brk(HaltService)
+		},
+		// Call/return through BSR + RET: dynamic jump chains back into the
+		// trace through the LUT probe.
+		"call": func(a *host.Asm) {
+			a.MovImm(host.R9, trDataBase)
+			a.MovImm(host.R1, 7)
+			a.Br(host.BSR, host.R5, "fn")
+			a.Opr(host.ADDQ, host.R1, host.R1, host.R2)
+			a.Brk(HaltService)
+			a.Label("fn")
+			a.OprLit(host.ADDQ, host.R1, 5, host.R1)
+			a.Jmp(host.RET, host.R31, host.R5)
+		},
+		// Dual-issue pairing across LDA/LDAH/operate runs and slot-closing
+		// multiplies — the cycle accounting the EV6 model is touchiest about.
+		"dual": func(a *host.Asm) {
+			a.MovImm(host.R9, trDataBase)
+			a.Mem(host.LDA, host.R1, 8, host.R9)
+			a.Mem(host.LDAH, host.R2, 1, host.R31)
+			a.OprLit(host.ADDQ, host.R1, 1, host.R3)
+			a.OprLit(host.ADDQ, host.R3, 1, host.R4)
+			a.Opr(host.MULQ, host.R4, host.R4, host.R5)
+			a.Mem(host.LDQ, host.R6, 0, host.R9)
+			a.OprLit(host.SUBQ, host.R6, 1, host.R6)
+			a.Mem(host.LDQU, host.R7, 3, host.R9)
+			a.Brk(HaltService)
+		},
+	}
+	for name, build := range kernels {
+		words := trProgram(t, base, build)
+		for _, caches := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/caches=%v", name, caches), func(t *testing.T) {
+				trCompare(t, base, words, []uint64{1, 3, 17, 1 << 20}, caches, 3)
+			})
+		}
+	}
+}
+
+// TestTraceOperateParity pins the executor's inline operate and
+// branch-predicate switches to the generic loop (host.EvalOp /
+// host.BranchTaken) op by op, over register and literal forms, so the two
+// implementations can never drift silently.
+func TestTraceOperateParity(t *testing.T) {
+	aluOps := []host.Op{
+		host.ADDL, host.SUBL, host.ADDQ, host.SUBQ, host.MULL, host.MULQ,
+		host.CMPEQ, host.CMPLT, host.CMPLE, host.CMPULT, host.CMPULE,
+		host.AND, host.BIC, host.BIS, host.ORNOT, host.XOR, host.EQV,
+		host.SLL, host.SRL, host.SRA,
+		host.EXTBL, host.EXTWL, host.EXTLL, host.EXTQL,
+		host.EXTWH, host.EXTLH, host.EXTQH,
+		host.INSBL, host.INSWL, host.INSLL, host.INSQL,
+		host.INSWH, host.INSLH, host.INSQH,
+		host.MSKBL, host.MSKWL, host.MSKLL, host.MSKQL,
+		host.MSKWH, host.MSKLH, host.MSKQH,
+	}
+	rng := rand.New(rand.NewSource(1))
+	const base = 0x1000
+	for _, op := range aluOps {
+		for trial := 0; trial < 6; trial++ {
+			av, bv := int64(rng.Uint64()), int64(rng.Uint64())
+			if trial%2 == 0 {
+				bv &= 63 // exercise shift-count and byte-offset ranges densely
+			}
+			lit := uint8(rng.Intn(256))
+			words := trProgram(t, base, func(a *host.Asm) {
+				a.MovImm(host.R1, av)
+				a.MovImm(host.R2, bv)
+				a.Opr(op, host.R1, host.R2, host.R3)
+				a.OprLit(op, host.R1, lit, host.R4)
+				a.Opr(op, host.R31, host.R2, host.R5)
+				a.Brk(HaltService)
+			})
+			trCompare(t, base, words, []uint64{1 << 20}, false, 2)
+		}
+	}
+	condOps := []host.Op{
+		host.BEQ, host.BNE, host.BLT, host.BLE, host.BGT, host.BGE,
+		host.BLBC, host.BLBS,
+	}
+	for _, op := range condOps {
+		for _, av := range []int64{0, 1, 2, -1, -2, int64(^uint64(0) >> 1), int64(1) << 62} {
+			words := trProgram(t, base, func(a *host.Asm) {
+				a.MovImm(host.R1, av)
+				a.Br(op, host.R1, "skip")
+				a.OprLit(host.ADDQ, host.R31, 1, host.R2)
+				a.Label("skip")
+				a.Brk(HaltService)
+			})
+			trCompare(t, base, words, []uint64{1 << 20}, false, 2)
+		}
+	}
+}
+
+func TestTraceChainFollowAndSever(t *testing.T) {
+	const base = 0x1000
+	m := newMachine(false)
+	trSeedData(m)
+	words := trProgram(t, base, func(a *host.Asm) {
+		a.MovImm(host.R1, 10)
+		a.Label("a")
+		a.OprLit(host.SUBQ, host.R1, 1, host.R1)
+		a.Br(host.BR, host.R31, "b") // tail of trace A → chain into trace B
+		a.Label("b")
+		a.Br(host.BNE, host.R1, "a") // tail of trace B → chain back into A
+		a.Brk(HaltService)
+	})
+	m.WriteCode(base, words)
+	m.SetPC(base)
+	m.EnableTraces(true)
+	// Split the program at label "b" into two traces.
+	var bPC uint64
+	for i, w := range words {
+		inst, err := host.Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Op == host.BNE {
+			bPC = base + uint64(i)*host.InstBytes
+		}
+	}
+	if bPC == 0 {
+		t.Fatal("BNE not found")
+	}
+	end := base + uint64(len(words))*host.InstBytes
+	if !m.BuildTrace(base, bPC) || !m.BuildTrace(bPC, end) {
+		t.Fatal("BuildTrace failed")
+	}
+	if got := trRun(m, 1<<20); got.Stop != StopHalt {
+		t.Fatalf("stop = %v, want halt", got.Stop)
+	}
+	ts := m.TraceStats()
+	if ts.Formed != 2 || ts.ChainFollows == 0 || ts.TracedInsts == 0 {
+		t.Fatalf("trace stats %+v: want 2 formed, nonzero chain follows and traced insts", ts)
+	}
+	if err := m.CheckTraceCoherence(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Patching a word inside trace B drops it, severs A's memoized link
+	// into it, and leaves trace A executable and coherent.
+	m.Patch(bPC, words[(bPC-base)/host.InstBytes])
+	if m.HasTrace(bPC) {
+		t.Fatal("patched trace still live")
+	}
+	if !m.HasTrace(base) {
+		t.Fatal("untouched trace dropped")
+	}
+	if got := m.TraceStats().Invalidations; got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+	if err := m.CheckTraceCoherence(); err != nil {
+		t.Fatalf("coherence after sever: %v", err)
+	}
+	m.SetReg(host.R1, 10)
+	m.SetPC(base)
+	if got := trRun(m, 1<<20); got.Stop != StopHalt {
+		t.Fatalf("stop after sever = %v, want halt", got.Stop)
+	}
+}
+
+func TestTraceBuildRejects(t *testing.T) {
+	const base = 0x1000
+	m := newMachine(false)
+	words := trProgram(t, base, func(a *host.Asm) {
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.Brk(HaltService)
+	})
+	m.WriteCode(base, words)
+	end := base + uint64(len(words))*host.InstBytes
+
+	if m.BuildTrace(base, end) {
+		t.Fatal("BuildTrace succeeded with tier disabled")
+	}
+	m.EnableTraces(true)
+	if m.BuildTrace(base+2, end) || m.BuildTrace(base, end+2) || m.BuildTrace(end, base) {
+		t.Fatal("BuildTrace accepted misaligned or inverted bounds")
+	}
+	m.Mem.Write32(end, 0x04<<26) // unassigned opcode
+	if m.BuildTrace(base, end+host.InstBytes) {
+		t.Fatal("BuildTrace accepted an undecodable word")
+	}
+	if !m.BuildTrace(base, end) {
+		t.Fatal("BuildTrace failed on valid span")
+	}
+	if m.BuildTrace(base, base+host.InstBytes) {
+		t.Fatal("BuildTrace accepted an overlap with a live trace")
+	}
+	if got := m.TraceStats().Formed; got != 1 {
+		t.Fatalf("formed = %d, want 1", got)
+	}
+}
+
+func TestTraceIMBAndResetDropAll(t *testing.T) {
+	const base = 0x1000
+	m := newMachine(false)
+	words := trProgram(t, base, func(a *host.Asm) {
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.Brk(HaltService)
+	})
+	m.WriteCode(base, words)
+	m.EnableTraces(true)
+	end := base + uint64(len(words))*host.InstBytes
+	if !m.BuildTrace(base, end) {
+		t.Fatal("BuildTrace failed")
+	}
+	m.IMB()
+	if m.HasTrace(base) {
+		t.Fatal("trace survived IMB")
+	}
+	if got := m.TraceStats().Invalidations; got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+	if !m.TracesEnabled() {
+		t.Fatal("IMB disabled the tier")
+	}
+	if !m.BuildTrace(base, end) {
+		t.Fatal("rebuild after IMB failed")
+	}
+	m.Reset()
+	if m.TracesEnabled() || m.HasTrace(base) {
+		t.Fatal("Reset left the trace tier armed")
+	}
+	if got := m.TraceStats(); got != (TraceStats{}) {
+		t.Fatalf("Reset left trace stats %+v", got)
+	}
+}
+
+// TestTraceMidEntry enters a trace at a PC in its middle (as a stub return
+// would) and checks parity with generic execution.
+func TestTraceMidEntry(t *testing.T) {
+	const base = 0x1000
+	words := trProgram(t, base, func(a *host.Asm) {
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.OprLit(host.ADDQ, host.R1, 2, host.R1)
+		a.OprLit(host.ADDQ, host.R1, 3, host.R1)
+		a.Brk(HaltService)
+	})
+	entry := uint64(base + 2*host.InstBytes)
+
+	ref := newMachine(true)
+	ref.WriteCode(base, words)
+	ref.SetPC(entry)
+	want := trRun(ref, 1<<20)
+
+	m := newMachine(true)
+	m.WriteCode(base, words)
+	m.EnableTraces(true)
+	if !m.BuildTrace(base, base+uint64(len(words))*host.InstBytes) {
+		t.Fatal("BuildTrace failed")
+	}
+	m.SetPC(entry)
+	got := trRun(m, 1<<20)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-entry:\n got %+v\nwant %+v", got, want)
+	}
+	if m.TraceStats().TracedInsts != 2 {
+		t.Fatalf("traced insts = %d, want 2", m.TraceStats().TracedInsts)
+	}
+}
+
+// TestTraceFaultPlanFallsBack checks that a machine with an installed
+// fault plan never enters the trace executor, keeping injection streams
+// untouched by the tier.
+func TestTraceFaultPlanFallsBack(t *testing.T) {
+	const base = 0x1000
+	m := newMachine(false)
+	words := trProgram(t, base, func(a *host.Asm) {
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.Brk(HaltService)
+	})
+	m.WriteCode(base, words)
+	m.EnableTraces(true)
+	if !m.BuildTrace(base, base+uint64(len(words))*host.InstBytes) {
+		t.Fatal("BuildTrace failed")
+	}
+	m.SetFaultPlan(faultinject.New(1))
+	m.SetPC(base)
+	if got := trRun(m, 1<<20); got.Stop != StopHalt {
+		t.Fatalf("stop = %v, want halt", got.Stop)
+	}
+	if got := m.TraceStats().TracedInsts; got != 0 {
+		t.Fatalf("trace executor ran %d insts with a fault plan installed", got)
+	}
+}
+
+func TestTraceCoherenceDetectsCorruption(t *testing.T) {
+	const base = 0x1000
+	m := newMachine(false)
+	words := trProgram(t, base, func(a *host.Asm) {
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.OprLit(host.ADDQ, host.R1, 1, host.R1)
+		a.Brk(HaltService)
+	})
+	m.WriteCode(base, words)
+	m.EnableTraces(true)
+	if !m.BuildTrace(base, base+uint64(len(words))*host.InstBytes) {
+		t.Fatal("BuildTrace failed")
+	}
+	if err := m.CheckTraceCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	delete(m.traces, base+host.InstBytes)
+	if err := m.CheckTraceCoherence(); err == nil {
+		t.Fatal("coherence check missed a dropped LUT entry")
+	}
+}
+
+// benchKernel is a tight counted loop (no misaligned traffic) approximating
+// translated hot-loop code: the shape the dispatch-loop perfbench measures.
+func benchKernel(b *testing.B, traced bool) {
+	const base = 0x1000
+	a := host.NewAsm(base)
+	a.MovImm(host.R9, trDataBase)
+	a.Label("top")
+	a.Mem(host.LDQ, host.R2, 0, host.R9)
+	a.OprLit(host.ADDQ, host.R2, 3, host.R2)
+	a.Mem(host.LDQ, host.R3, 8, host.R9)
+	a.Opr(host.XOR, host.R2, host.R3, host.R4)
+	a.Mem(host.STQ, host.R4, 16, host.R9)
+	a.OprLit(host.ADDQ, host.R5, 1, host.R5)
+	a.OprLit(host.SUBQ, host.R1, 1, host.R1)
+	a.Br(host.BNE, host.R1, "top")
+	a.Brk(HaltService)
+	words, err := a.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(mem.New(), DefaultParams())
+	m.WriteCode(base, words)
+	if traced {
+		m.EnableTraces(true)
+		if !m.BuildTrace(base, base+uint64(len(words))*host.InstBytes) {
+			b.Fatal("BuildTrace failed")
+		}
+	}
+	const iters = 4096
+	insts := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetPC(base)
+		m.SetReg(host.R1, iters)
+		before := m.Counters().Insts
+		if stop, _, err := m.Run(1 << 40); err != nil || stop != StopHalt {
+			b.Fatalf("stop=%v err=%v", stop, err)
+		}
+		insts += m.Counters().Insts - before
+	}
+	b.ReportMetric(float64(insts)/float64(b.Elapsed().Nanoseconds())*1000, "MIPS")
+}
+
+func BenchmarkGenericLoop(b *testing.B) { benchKernel(b, false) }
+func BenchmarkTracedLoop(b *testing.B)  { benchKernel(b, true) }
+
+// trMegaLd emits the translator's misalignment-safe load idiom in the
+// exact shape fuseMegaLd matches: base in R9, result in R7, temporaries
+// R2-R6 (lo, hi, ea, extl, exth).
+func trMegaLd(a *host.Asm, sz int, disp int32, sext bool) {
+	var xl, xh host.Op
+	switch sz {
+	case 2:
+		xl, xh = host.EXTWL, host.EXTWH
+	case 4:
+		xl, xh = host.EXTLL, host.EXTLH
+	case 8:
+		xl, xh = host.EXTQL, host.EXTQH
+	}
+	a.Mem(host.LDQU, host.R2, disp, host.R9)
+	a.Mem(host.LDQU, host.R3, disp+int32(sz)-1, host.R9)
+	a.Mem(host.LDA, host.R4, disp, host.R9)
+	a.Opr(xl, host.R2, host.R4, host.R5)
+	a.Opr(xh, host.R3, host.R4, host.R6)
+	a.Opr(host.BIS, host.R6, host.R5, host.R7)
+	if sext {
+		a.Opr(host.ADDL, host.R31, host.R7, host.R7)
+	}
+}
+
+// trMegaSt emits the misalignment-safe store idiom fuseMegaSt matches:
+// base in R9, data in R7, temporaries R2-R6 (lo, hi, ea, insh, insl),
+// with the in-place msk/bis merge the real translator uses.
+func trMegaSt(a *host.Asm, sz int, disp int32) {
+	var ih, il, mh, ml host.Op
+	switch sz {
+	case 2:
+		ih, il, mh, ml = host.INSWH, host.INSWL, host.MSKWH, host.MSKWL
+	case 4:
+		ih, il, mh, ml = host.INSLH, host.INSLL, host.MSKLH, host.MSKLL
+	case 8:
+		ih, il, mh, ml = host.INSQH, host.INSQL, host.MSKQH, host.MSKQL
+	}
+	a.Mem(host.LDA, host.R4, disp, host.R9)
+	a.Mem(host.LDQU, host.R3, disp+int32(sz)-1, host.R9)
+	a.Mem(host.LDQU, host.R2, disp, host.R9)
+	a.Opr(ih, host.R7, host.R4, host.R5)
+	a.Opr(il, host.R7, host.R4, host.R6)
+	a.Opr(mh, host.R3, host.R4, host.R3)
+	a.Opr(ml, host.R2, host.R4, host.R2)
+	a.Opr(host.BIS, host.R3, host.R5, host.R3)
+	a.Opr(host.BIS, host.R2, host.R6, host.R2)
+	a.Mem(host.STQU, host.R3, disp+int32(sz)-1, host.R9)
+	a.Mem(host.STQU, host.R2, disp, host.R9)
+}
+
+// trMegaNops pads the program so the idiom head lands at a chosen offset
+// within its 64-byte I-line, moving the line crossing onto different
+// constituents (megaCrossK coverage).
+func trMegaNops(a *host.Asm, n int) {
+	for i := 0; i < n; i++ {
+		a.Mem(host.LDA, host.R8, 0, host.R8)
+	}
+}
+
+// trAssertMega builds one whole-span trace over words and asserts the
+// idiom actually compacted into a single mega step of wantN constituents
+// — without this, the parity runs below could silently test nothing.
+func trAssertMega(t *testing.T, base uint64, words []uint32, kind stepKind, wantN int) {
+	t.Helper()
+	m := newMachine(false)
+	trSeedData(m)
+	m.WriteCode(base, words)
+	m.SetPC(base)
+	m.EnableTraces(true)
+	if !m.BuildTrace(base, base+uint64(len(words))*host.InstBytes) {
+		t.Fatal("BuildTrace failed")
+	}
+	megas := 0
+	for _, tr := range m.traceList {
+		for i := range tr.steps {
+			st := &tr.steps[i]
+			if st.kind == stepMisLd || st.kind == stepMisSt {
+				megas++
+				if st.kind != kind {
+					t.Errorf("fused into kind %d, want %d", st.kind, kind)
+				}
+				if int(st.n) != wantN {
+					t.Errorf("mega step retires %d insts, want %d", st.n, wantN)
+				}
+			}
+		}
+	}
+	if megas != 1 {
+		t.Errorf("idiom compacted into %d mega steps, want exactly 1", megas)
+	}
+}
+
+// TestTraceMegaStepParity pins the fused MDA mega-steps to the generic
+// loop: the exact load/store expansion idioms the translator emits must
+// fuse into one dispatch and stay bit-identical across word sizes,
+// quadword straddles, sign extension, I-line-crossing positions, budget
+// exhaustion at and inside the idiom, and cache modeling on/off.
+func TestTraceMegaStepParity(t *testing.T) {
+	const base = 0x1000
+	budgets := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 20, 40, 1 << 20}
+
+	loads := []struct {
+		sz   int
+		disp int32
+		sext bool
+		pad  int
+	}{
+		{2, 7, false, 0},  // word straddling a quadword boundary
+		{4, 5, true, 13},  // longword straddle + sext, line cross at k=1
+		{4, 5, false, 9},  // line cross mid-idiom
+		{8, 3, false, 11}, // quadword straddle
+		{8, 0, false, 0},  // aligned: idiom still runs, hi==lo quadword+8
+		{2, 2, false, 13}, // within-quadword misalignment
+	}
+	for _, c := range loads {
+		words := trProgram(t, base, func(a *host.Asm) {
+			a.MovImm(host.R9, trDataBase)
+			a.MovImm(host.R1, 3)
+			trMegaNops(a, c.pad)
+			a.Label("top")
+			trMegaLd(a, c.sz, c.disp, c.sext)
+			a.OprLit(host.ADDQ, host.R7, 1, host.R8)
+			a.OprLit(host.SUBQ, host.R1, 1, host.R1)
+			a.Br(host.BNE, host.R1, "top")
+			a.Brk(HaltService)
+		})
+		wantN := 6
+		if c.sext {
+			wantN = 7
+		}
+		t.Run(fmt.Sprintf("ld/sz=%d/disp=%d/sext=%v/pad=%d", c.sz, c.disp, c.sext, c.pad), func(t *testing.T) {
+			trAssertMega(t, base, words, stepMisLd, wantN)
+			for _, caches := range []bool{false, true} {
+				trCompare(t, base, words, budgets, caches, 4)
+			}
+		})
+	}
+
+	stores := []struct {
+		sz   int
+		disp int32
+		pad  int
+	}{
+		{2, 7, 0},
+		{4, 5, 1},  // line cross at k=10 (stq_u lo)
+		{4, 4, 5},  // line cross mid-merge
+		{8, 3, 8},  // line cross at the ins half
+		{8, 0, 10}, // aligned, line cross at k=1 (ldq_u hi)
+	}
+	for _, c := range stores {
+		c := c
+		words := trProgram(t, base, func(a *host.Asm) {
+			a.MovImm(host.R9, trDataBase)
+			a.MovImm(host.R7, 0x1234_5678)
+			a.MovImm(host.R1, 3)
+			trMegaNops(a, c.pad)
+			a.Label("top")
+			trMegaSt(a, c.sz, c.disp)
+			a.OprLit(host.ADDQ, host.R7, 7, host.R7)
+			a.OprLit(host.SUBQ, host.R1, 1, host.R1)
+			a.Br(host.BNE, host.R1, "top")
+			// Fold the stored bytes back into registers so trSnap's
+			// register comparison covers the memory effect too.
+			a.Mem(host.LDQ, host.R5, c.disp&^7, host.R9)
+			a.Mem(host.LDQ, host.R6, (c.disp+int32(c.sz)-1)&^7, host.R9)
+			a.Brk(HaltService)
+		})
+		t.Run(fmt.Sprintf("st/sz=%d/disp=%d/pad=%d", c.sz, c.disp, c.pad), func(t *testing.T) {
+			trAssertMega(t, base, words, stepMisSt, 11)
+			for _, caches := range []bool{false, true} {
+				trCompare(t, base, words, budgets, caches, 4)
+			}
+		})
+	}
+}
+
+// TestTraceMegaStepFaults makes individual constituents of a fused mega
+// step take access faults mid-idiom, via page protections straddled by
+// the access. The machine's default access-trap path (count, charge,
+// complete, continue) must leave a traced run bit-identical to the
+// generic one: the mega exits at the faulting constituent's PC with the
+// architecturally visible prefix retired, resumes generically through
+// the idiom tail, and re-enters the trace on the next iteration.
+func TestTraceMegaStepFaults(t *testing.T) {
+	const base = 0x1000
+	const pageA = uint64(trDataBase)           // [0x100000, 0x102000)
+	const pageB = pageA + uint64(mem.PageSize) // next data page
+	const straddle = pageB - 4                 // quadword access spans A|B
+	budgets := []uint64{1, 3, 6, 9, 12, 14, 25, 1 << 20}
+
+	loadProg := trProgram(t, base, func(a *host.Asm) {
+		a.MovImm(host.R9, int64(straddle))
+		a.MovImm(host.R1, 4)
+		a.Label("top")
+		trMegaLd(a, 8, 0, false)
+		a.OprLit(host.SUBQ, host.R1, 1, host.R1)
+		a.Br(host.BNE, host.R1, "top")
+		a.Brk(HaltService)
+	})
+	trAssertMega(t, base, loadProg, stepMisLd, 6)
+
+	storeProg := trProgram(t, base, func(a *host.Asm) {
+		a.MovImm(host.R9, int64(straddle))
+		a.MovImm(host.R7, 0x1234_5678)
+		a.MovImm(host.R1, 4)
+		a.Label("top")
+		trMegaSt(a, 8, 0)
+		a.OprLit(host.ADDQ, host.R7, 7, host.R7)
+		a.OprLit(host.SUBQ, host.R1, 1, host.R1)
+		a.Br(host.BNE, host.R1, "top")
+		a.Mem(host.LDQ, host.R5, -8, host.R9) // aligned readback: low quad
+		a.Mem(host.LDQ, host.R6, 4, host.R9)  // aligned readback: high quad
+		a.Brk(HaltService)
+	})
+	trAssertMega(t, base, storeProg, stepMisSt, 11)
+
+	cases := []struct {
+		name  string
+		words []uint32
+		arm   func(m *Machine)
+	}{
+		// Load: fault on the second, first, then both ldq_u constituents.
+		{"ld-hi-faults", loadProg, func(m *Machine) { m.Mem.Protect(pageB, mem.PageSize, 0) }},
+		{"ld-lo-faults", loadProg, func(m *Machine) { m.Mem.Protect(pageA, mem.PageSize, 0) }},
+		{"ld-both-fault", loadProg, func(m *Machine) { m.Mem.Protect(pageA, 2*mem.PageSize, 0) }},
+		// Store: unreadable high page faults ldq_u hi AND stq_u hi;
+		// read-only pages fault exactly the trailing stq_u constituents.
+		{"st-hi-unreadable", storeProg, func(m *Machine) { m.Mem.Protect(pageB, mem.PageSize, 0) }},
+		{"st-hi-write-faults", storeProg, func(m *Machine) { m.Mem.Protect(pageB, mem.PageSize, mem.ProtRead) }},
+		{"st-both-writes-fault", storeProg, func(m *Machine) { m.Mem.Protect(pageA, 2*mem.PageSize, mem.ProtRead) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, caches := range []bool{false, true} {
+				trCompareArm(t, base, tc.words, budgets, caches, 4, tc.arm)
+			}
+			// Sanity: the protections really did fire faults.
+			m := newMachine(false)
+			trSeedData(m)
+			tc.arm(m)
+			m.WriteCode(base, tc.words)
+			m.SetPC(base)
+			m.EnableTraces(true)
+			if !m.BuildTrace(base, base+uint64(len(tc.words))*host.InstBytes) {
+				t.Fatal("BuildTrace failed")
+			}
+			trRun(m, 1<<20)
+			if m.Counters().AccessFaults == 0 {
+				t.Error("protections armed but no access faults were taken")
+			}
+		})
+	}
+}

@@ -120,6 +120,16 @@ func (m *Memory) peek(addr uint64) *page {
 	return p
 }
 
+// PeekPage returns the backing array of addr's page, or nil if the page
+// has never been touched. The pointer is stable for the page's lifetime,
+// so hot interpreters may cache it across accesses and read/write the
+// page directly — provided they perform their own protection and watch
+// checks first (the memory layer does none on this path) and drop the
+// cached pointer when the run ends.
+func (m *Memory) PeekPage(addr uint64) *[PageSize]byte {
+	return m.peek(addr)
+}
+
 // Read8 reads one byte.
 func (m *Memory) Read8(addr uint64) byte {
 	p := m.peek(addr)

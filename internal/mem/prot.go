@@ -242,6 +242,26 @@ func (m *Memory) AccessTrap(addr uint64, size int, store bool) bool {
 	return false
 }
 
+// PageTrapped reports whether host accesses contained in addr's page can
+// trap: load gates loads, store gates stores (protection, watch, and
+// store-guard bits, exactly the predicate AccessTrap applies). Callers
+// that memoize a page may use the two bits in place of per-access
+// AccessTrap calls for accesses that cannot cross out of the page — valid
+// only while no protection state changes, so the memo must be dropped at
+// any point a protection mutation can run.
+func (m *Memory) PageTrapped(addr uint64) (load, store bool) {
+	t := m.trap
+	if t == nil {
+		return false, false
+	}
+	i := addr >> PageShift
+	if i >= uint64(len(t)) {
+		return false, false
+	}
+	b := t[i]
+	return b&tLoad != 0, b&(tStore|tGuard) != 0
+}
+
 // Watched reports whether the page holding addr carries a store watch.
 func (m *Memory) Watched(addr uint64) bool { return m.watch[addr>>PageShift] }
 

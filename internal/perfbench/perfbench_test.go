@@ -22,11 +22,12 @@ func runBench(b *testing.B, bench Bench) {
 	}
 }
 
-func BenchmarkMemReadWrite(b *testing.B)    { runBench(b, MemReadWrite()) }
-func BenchmarkGuestExec(b *testing.B)       { runBench(b, GuestExec()) }
-func BenchmarkInterpreterLoop(b *testing.B) { runBench(b, InterpreterLoop()) }
-func BenchmarkDispatchLoop(b *testing.B)    { runBench(b, DispatchLoop()) }
-func BenchmarkEndToEnd(b *testing.B)        { runBench(b, EndToEnd()) }
+func BenchmarkMemReadWrite(b *testing.B)       { runBench(b, MemReadWrite()) }
+func BenchmarkGuestExec(b *testing.B)          { runBench(b, GuestExec()) }
+func BenchmarkInterpreterLoop(b *testing.B)    { runBench(b, InterpreterLoop()) }
+func BenchmarkDispatchLoop(b *testing.B)       { runBench(b, DispatchLoop()) }
+func BenchmarkDispatchLoopTraced(b *testing.B) { runBench(b, DispatchLoopTraced()) }
+func BenchmarkEndToEnd(b *testing.B)           { runBench(b, EndToEnd()) }
 
 // TestSteadyStateAllocs pins the PR's allocation-free guarantee: after
 // warm-up, the simulated-memory fast paths and the translated-code dispatch

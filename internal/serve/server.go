@@ -58,6 +58,10 @@ type Result struct {
 	CodeUsed uint64 // code-cache bytes at completion
 	Attempts int    // 1 unless transient failures were retried
 	Worker   int    // worker that produced the result
+	// Traces is the host-side trace-tier telemetry this request generated
+	// (all zero unless Options.Traces). Engine reuse makes the machine's
+	// own counters cumulative, so this is the per-request delta.
+	Traces machine.TraceStats
 }
 
 // ServerOptions configures a Server.
@@ -157,6 +161,9 @@ func (s *Server) attempt(ctx context.Context, w *Worker, req Request) (*Result, 
 	} else {
 		b.eng.Reset(opt)
 	}
+	// Snapshot after Reset so the delta excludes the reset's own trace
+	// invalidations (they belong to the previous request's teardown).
+	ts0 := b.eng.TraceStats()
 
 	entry := req.Entry
 	switch {
@@ -194,6 +201,7 @@ func (s *Server) attempt(ctx context.Context, w *Worker, req Request) (*Result, 
 	if err := b.eng.RunContext(ctx, entry, budget); err != nil {
 		return nil, err
 	}
+	ts1 := b.eng.TraceStats()
 	return &Result{
 		CPU:      b.eng.FinalCPU(),
 		Counters: b.mach.Counters(),
@@ -201,6 +209,12 @@ func (s *Server) attempt(ctx context.Context, w *Worker, req Request) (*Result, 
 		CodeUsed: b.eng.CodeCacheUsed(),
 		Attempts: w.Attempt,
 		Worker:   w.ID,
+		Traces: machine.TraceStats{
+			Formed:        ts1.Formed - ts0.Formed,
+			ChainFollows:  ts1.ChainFollows - ts0.ChainFollows,
+			Invalidations: ts1.Invalidations - ts0.Invalidations,
+			TracedInsts:   ts1.TracedInsts - ts0.TracedInsts,
+		},
 	}, nil
 }
 

@@ -109,8 +109,8 @@ func TestBenchmarkAccessors(t *testing.T) {
 
 func TestExperimentRegistryFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 21 {
-		t.Fatalf("ExperimentIDs = %v, want 21 entries", ids)
+	if len(ids) != 22 {
+		t.Fatalf("ExperimentIDs = %v, want 22 entries", ids)
 	}
 	if ids[0] != "table1" {
 		t.Errorf("first experiment %q, want table1", ids[0])
