@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_COUNT ?= 10
 
-.PHONY: all build test race bench bench-smoke bench-json trace-bench golden-matrix fmt vet lint mech-smoke serve-chaos fault-chaos
+.PHONY: all build test race bench bench-smoke bench-json trace-bench golden-matrix fmt vet lint mech-smoke serve-chaos fault-chaos store-chaos
 
 all: build test
 
@@ -42,6 +42,17 @@ serve-chaos:
 fault-chaos:
 	$(GO) test -race -run 'TestFaultCosimAllMechanisms|TestChaosGuestFaults|TestSelfModifyingInvalidates|TestMultiContextReset' -v ./internal/core
 	$(GO) test -race -run 'TestServeGuestFaults' ./internal/serve
+
+# Persistent-store crash/corruption suite under the race detector: the
+# full internal/store suite (atomic-write protocol, SIGKILL-mid-write
+# recovery, every store.* injection point against concurrent writers),
+# the warm-from-store golden matrix (144 entries bit-identical to cold,
+# injected corruption quarantined with cold fallback), and the
+# serve/dbtserve warm-restart round trips.
+store-chaos:
+	$(GO) test -race -v ./internal/store
+	$(GO) test -race -run 'TestStoreWarmGoldenMatrix' ./internal/core
+	$(GO) test -race -run 'TestWarmStart|TestStoreCorruptionDegradesToCold|TestProfilesMergeAcrossDrains|TestLoaderRequestWithoutStoreKeyBypassesStore|TestStoreWarmRestart' ./internal/serve ./cmd/dbtserve
 
 # One experiment run per registered mechanism (policy registry) — the CI
 # mechanism-smoke job.

@@ -12,6 +12,13 @@
 // alias): direct, static-profile, dynamic-profile, exception-handling,
 // dpeh, speh — newly registered mechanisms are selectable with no CLI
 // changes.
+//
+// With -store DIR runs warm-start from the crash-safe persistent
+// artifact store (internal/store) — stored AOT images and trap profiles
+// keyed by (program, options fingerprint) — and merge their own
+// alignment history back for the next run. The store directory is shared
+// with dbtserve -store; corrupt artifacts are quarantined and the run
+// proceeds cold.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"mdabt/internal/aot"
 	"mdabt/internal/core"
 	"mdabt/internal/faultinject"
 	"mdabt/internal/guest"
@@ -29,6 +37,7 @@ import (
 	"mdabt/internal/mem"
 	"mdabt/internal/policy"
 	"mdabt/internal/profiling"
+	"mdabt/internal/store"
 	"mdabt/internal/workload"
 )
 
@@ -60,6 +69,7 @@ func main() {
 	lint := flag.Bool("lint", false, "run the translation verifier over every emitted block after the run")
 	profileOut := flag.String("profile-out", "", "run a training census and write the profile database (JSON) here, then exit")
 	profileIn := flag.String("profile-in", "", "load a stored profile database for the static mechanism")
+	storeDir := flag.String("store", "", "persistent artifact store directory: warm-start from stored AOT images and trap profiles, merge this run's history back (shared with dbtserve -store)")
 	selfcheck := flag.Bool("selfcheck", false, "validate engine invariants after every structural mutation and at exit")
 	faultRate := flag.Float64("fault-rate", 0, "inject faults at every injection point with this probability (chaos mode)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (with -fault-rate)")
@@ -111,10 +121,21 @@ func main() {
 		fail("%v", err)
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var serr error
+		st, serr = store.Open(*storeDir)
+		if serr != nil {
+			fail("open store: %v", serr)
+		}
+	}
+
 	m := mem.New()
 	entry := uint32(guest.CodeBase)
 
 	progName := "program"
+	storeProg := "" // persistent-store program identity ("" = no store traffic)
+	var benchProg *workload.Program
 	switch {
 	case *bench != "" && *faultProg != "":
 		fail("give either -bench or -faultprog, not both")
@@ -147,15 +168,16 @@ func main() {
 		if err != nil {
 			fail("generate: %v", err)
 		}
-		in := workload.Ref
+		in, inName := workload.Ref, "ref"
 		if *input == "train" {
-			in = workload.Train
+			in, inName = workload.Train, "train"
 		}
 		prog.Load(m, in)
 		entry = prog.Entry()
-		if p, ok := policy.ByID(int(mech)); ok && p.UsesStaticProfile() && *profileIn == "" {
-			opt.StaticSites = trainProfile(prog)
-		}
+		benchProg = prog
+		// Matches dbtserve's benchStoreKey: artifacts trained by one front
+		// end warm the other.
+		storeProg = "bench-" + *bench + "-" + inName
 	case flag.NArg() == 1:
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -167,6 +189,7 @@ func main() {
 			fail("%v", err)
 		}
 		m.WriteBytes(guest.CodeBase, img)
+		storeProg = store.HashProgram(img)
 	default:
 		fail("need a guest assembly file or -bench")
 	}
@@ -202,6 +225,52 @@ func main() {
 		opt.StaticSites = db.StaticSites()
 	}
 
+	// Warm-start from the persistent store: adopt the stored AOT block
+	// schedule and trap profile keyed by (program identity, options
+	// fingerprint). Anything the store cannot supply cleanly — a miss, a
+	// quarantined corrupt artifact, a foreign fingerprint — leaves the run
+	// cold; for benchmarks, a training census fills the gap and is
+	// persisted so the next run (either front end) skips it.
+	fingerprint := opt.Fingerprint()
+	if st != nil && storeProg != "" && opt.AOT && opt.AOTBlocks == nil {
+		k := store.Key{Program: storeProg, Fingerprint: fingerprint, Kind: store.KindAOTImage}
+		var im aot.Image
+		if err := st.Load(k, &im); err == nil && im.Verify() == nil {
+			im.Apply(&opt)
+		} else {
+			built := aot.BuildFromMemory(m, entry)
+			built.Apply(&opt)
+			if serr := st.Save(k, built); serr != nil {
+				fmt.Fprintf(os.Stderr, "dbtrun: store save aot image: %v\n", serr)
+			}
+		}
+	}
+	if p, ok := policy.ByID(int(mech)); ok && p.UsesStaticProfile() && *profileIn == "" && opt.StaticSites == nil {
+		profKey := store.Key{Program: storeProg, Fingerprint: fingerprint, Kind: store.KindTrapProfile}
+		warmed := false
+		if st != nil && storeProg != "" {
+			var tp store.TrapProfile
+			if st.Load(profKey, &tp) == nil {
+				// A stored profile with zero MDA sites is still knowledge —
+				// "the census found nothing" — so it suppresses retraining.
+				opt.StaticSites = tp.StaticSites()
+				warmed = true
+			}
+		}
+		if !warmed && benchProg != nil {
+			opt.StaticSites = trainProfile(benchProg)
+			if st != nil && storeProg != "" {
+				delta := &store.TrapProfile{Sessions: 1}
+				for pc := range opt.StaticSites {
+					delta.Add(pc, 1, 0)
+				}
+				if serr := st.MergeTrapProfile(profKey, delta); serr != nil {
+					fmt.Fprintf(os.Stderr, "dbtrun: store save trap profile: %v\n", serr)
+				}
+			}
+		}
+	}
+
 	mach := machine.New(m, machine.DefaultParams())
 	eng := core.NewEngine(m, mach, opt)
 	if *events > 0 {
@@ -224,6 +293,20 @@ func main() {
 		gf = g
 	} else if *expectFault {
 		fail("run halted cleanly; -expect-fault required a guest-visible memory fault")
+	}
+
+	// Merge this session's per-site alignment history back into the store:
+	// the next run of this (program, options) pair warm-starts from it. A
+	// failed merge costs future warmth, never this run's result.
+	if st != nil && storeProg != "" {
+		delta := &store.TrapProfile{Sessions: 1}
+		for pc, h := range eng.SiteHistory() {
+			delta.Add(pc, h.MDA, h.Aligned)
+		}
+		k := store.Key{Program: storeProg, Fingerprint: fingerprint, Kind: store.KindTrapProfile}
+		if serr := st.MergeTrapProfile(k, delta); serr != nil {
+			fmt.Fprintf(os.Stderr, "dbtrun: store merge trap profile: %v\n", serr)
+		}
 	}
 
 	c := mach.Counters()
@@ -258,6 +341,11 @@ func main() {
 	if opt.AOT {
 		fmt.Printf("aot:              %d blocks pre-translated, %d hits, %d jit fallbacks\n",
 			s.AOTBlocks, s.AOTHits, s.AOTFallbacks)
+	}
+	if st != nil {
+		ss := st.Stats()
+		fmt.Printf("store:            hits=%d misses=%d saves=%d merges=%d corrupt=%d quarantined=%d\n",
+			ss.Hits, ss.Misses, ss.Saves, ss.Merges, ss.Corrupt, ss.Quarantined)
 	}
 	if opt.Traces {
 		ts := eng.TraceStats()

@@ -30,6 +30,15 @@
 // code cache from the image at Reset/Run, so repeat requests for a known
 // binary perform zero dynamic block translations.
 //
+// With -store DIR the pool is backed by the crash-safe persistent
+// artifact store (internal/store): AOT images and aggregated trap
+// profiles survive restarts, so a fresh process warm-starts instead of
+// rediscovering every MDA site, and a store started by dbtrun warms
+// dbtserve (and vice versa). Corrupt or stale artifacts are quarantined
+// and the affected request degrades to a cold translation — the "store"
+// object in GET /statsz exposes hits, misses, corruption, and quarantine
+// counts.
+//
 // SIGINT/SIGTERM drains in-flight requests (bounded) before exiting.
 package main
 
@@ -56,6 +65,7 @@ import (
 	"mdabt/internal/mem"
 	"mdabt/internal/policy"
 	"mdabt/internal/serve"
+	"mdabt/internal/store"
 	"mdabt/internal/workload"
 )
 
@@ -122,12 +132,14 @@ type guestFaultBody struct {
 // app binds the HTTP handlers to one serving pool.
 type app struct {
 	srv      *serve.Server
+	store    *store.Store // persistent artifact store (nil = memory-only)
 	mech     core.Mechanism
 	deadline time.Duration
 
 	mu     sync.Mutex
 	progs  map[string]*workload.Program // benchmark model cache
 	images map[string]*aot.Image        // ahead-of-time image cache, per benchmark
+	saved  map[store.Key]bool           // artifacts already persisted this process
 
 	// Cumulative serving counters (GET /statsz), updated atomically.
 	runs         atomic.Uint64 // successful /run executions
@@ -141,12 +153,23 @@ type app struct {
 	traceInvalidations atomic.Uint64 // traces dropped (SMC, flush, reset)
 }
 
-func newApp(srv *serve.Server, mech core.Mechanism, deadline time.Duration) *app {
+func newApp(srv *serve.Server, st *store.Store, mech core.Mechanism, deadline time.Duration) *app {
 	return &app{
-		srv: srv, mech: mech, deadline: deadline,
+		srv: srv, store: st, mech: mech, deadline: deadline,
 		progs:  make(map[string]*workload.Program),
 		images: make(map[string]*aot.Image),
+		saved:  make(map[store.Key]bool),
 	}
+}
+
+// benchStoreKey is the persistent-store program identity for a benchmark
+// request. dbtrun derives the same identity, so artifacts trained by one
+// front end warm the other.
+func benchStoreKey(bench, input string) string {
+	if input != "train" {
+		input = "ref"
+	}
+	return "bench-" + bench + "-" + input
 }
 
 // mux returns the HTTP routing table (shared by main and the tests).
@@ -289,12 +312,15 @@ func (a *app) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		name = body.Bench
 		req.Key = body.Bench
+		req.StoreKey = benchStoreKey(body.Bench, body.Input)
 		req.Load = func(m *mem.Memory) uint32 { prog.Load(m, in); return prog.Entry() }
 		if opt.AOT {
 			// Adopt the benchmark's cached ahead-of-time image: the engine
 			// pre-seeds its code cache from the image's block schedule, so
 			// the run performs zero dynamic translations on full coverage.
-			a.image(body.Bench, prog).Apply(&opt)
+			// With a persistent store the image is saved there instead and
+			// the serving layer's warm path adopts it (surviving restarts).
+			a.ensureImage(&opt, req.StoreKey, body.Bench, prog)
 		}
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "need asm, bench, or faultprog", Class: "permanent"})
@@ -362,10 +388,32 @@ type statsResponse struct {
 	TracesFormed       uint64 `json:"traces_formed"`
 	ChainFollows       uint64 `json:"chain_follows"`
 	TraceInvalidations uint64 `json:"trace_invalidations"`
+	// Store is the persistent artifact store's counter snapshot, present
+	// only when the server runs with -store. hits vs misses is the
+	// cross-restart warm-start win; corrupt/quarantined is the
+	// degraded-but-correct path (every corrupt artifact was isolated and
+	// its request served cold).
+	Store *storeStatsBody `json:"store,omitempty"`
+}
+
+// storeStatsBody mirrors store.Stats with wire-stable snake_case keys.
+type storeStatsBody struct {
+	Saves         uint64 `json:"saves"`
+	SaveErrors    uint64 `json:"save_errors"`
+	Loads         uint64 `json:"loads"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Corrupt       uint64 `json:"corrupt"`
+	VersionSkew   uint64 `json:"version_skew"`
+	Foreign       uint64 `json:"foreign"`
+	Quarantined   uint64 `json:"quarantined"`
+	ReadErrors    uint64 `json:"read_errors"`
+	LockConflicts uint64 `json:"lock_conflicts"`
+	Merges        uint64 `json:"merges"`
 }
 
 func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Runs:         a.runs.Load(),
 		AOTRuns:      a.aotRuns.Load(),
 		AOTHits:      a.aotHits.Load(),
@@ -374,7 +422,52 @@ func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
 		TracesFormed:       a.tracesFormed.Load(),
 		ChainFollows:       a.chainFollows.Load(),
 		TraceInvalidations: a.traceInvalidations.Load(),
-	})
+	}
+	if st, ok := a.srv.StoreStats(); ok {
+		resp.Store = &storeStatsBody{
+			Saves:         st.Saves,
+			SaveErrors:    st.SaveErrors,
+			Loads:         st.Loads,
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Corrupt:       st.Corrupt,
+			VersionSkew:   st.VersionSkew,
+			Foreign:       st.Foreign,
+			Quarantined:   st.Quarantined,
+			ReadErrors:    st.ReadErrors,
+			LockConflicts: st.LockConflicts,
+			Merges:        st.Merges,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ensureImage routes the benchmark's ahead-of-time image to the request:
+// without a persistent store it adopts the in-memory cached image
+// directly; with one it persists the image under (program key, options
+// fingerprint) and leaves adoption to the serving layer's warm-start
+// path, so the artifact outlives this process. A failed save only costs
+// warmth — the request runs cold and correct.
+func (a *app) ensureImage(opt *core.Options, storeKey, bench string, prog *workload.Program) {
+	im := a.image(bench, prog)
+	if a.store == nil {
+		im.Apply(opt)
+		return
+	}
+	k := store.Key{Program: storeKey, Fingerprint: opt.Fingerprint(), Kind: store.KindAOTImage}
+	a.mu.Lock()
+	done := a.saved[k]
+	a.mu.Unlock()
+	if done {
+		return
+	}
+	if err := a.store.Save(k, im); err != nil {
+		fmt.Fprintf(os.Stderr, "dbtserve: store save %s: %v\n", storeKey, err)
+		return
+	}
+	a.mu.Lock()
+	a.saved[k] = true
+	a.mu.Unlock()
 }
 
 // image returns the (cached) ahead-of-time image for a benchmark, built
@@ -432,6 +525,7 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0, "arm every serving fault point with this probability")
 	chaosSeed := flag.Int64("chaos-seed", 1, "serving fault-injection seed (with -chaos-rate)")
 	drainWait := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests at shutdown")
+	storeDir := flag.String("store", "", "persistent artifact store directory: AOT images and trap profiles survive restarts (empty = memory-only)")
 	flag.Parse()
 
 	mech, ok := core.MechanismByName(*mechName)
@@ -445,6 +539,15 @@ func main() {
 			Rate(faultinject.ServeTransient, *chaosRate).
 			Rate(faultinject.ServePanic, *chaosRate)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbtserve: open store: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	srv := serve.NewServer(serve.ServerOptions{
 		Pool: serve.Options{
 			Workers: *workers,
@@ -453,8 +556,9 @@ func main() {
 			Chaos:   chaos,
 		},
 		Budget: *budget,
+		Store:  st,
 	})
-	a := newApp(srv, mech, *deadline)
+	a := newApp(srv, st, mech, *deadline)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: a.mux()}
 	done := make(chan struct{})

@@ -12,6 +12,7 @@ import (
 
 	"mdabt/internal/core"
 	"mdabt/internal/serve"
+	"mdabt/internal/store"
 )
 
 func testApp(t *testing.T) (*app, *httptest.Server) {
@@ -20,7 +21,7 @@ func testApp(t *testing.T) (*app, *httptest.Server) {
 		Pool:   serve.Options{Workers: 2, Retries: -1},
 		Budget: 200_000_000,
 	})
-	a := newApp(srv, core.ExceptionHandling, 10*time.Second)
+	a := newApp(srv, nil, core.ExceptionHandling, 10*time.Second)
 	ts := httptest.NewServer(a.mux())
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return a, ts
@@ -232,6 +233,84 @@ func TestHealthzDraining(t *testing.T) {
 	runResp, body := postRun(t, ts, runRequest{Asm: "halt"})
 	if runResp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("run while draining: status %d (%s), want 503", runResp.StatusCode, body)
+	}
+}
+
+// storeApp is testApp backed by a persistent artifact store.
+func storeApp(t *testing.T, st *store.Store) (*app, *httptest.Server) {
+	t.Helper()
+	srv := serve.NewServer(serve.ServerOptions{
+		Pool:   serve.Options{Workers: 2, Retries: -1},
+		Budget: 200_000_000,
+		Store:  st,
+	})
+	a := newApp(srv, st, core.ExceptionHandling, 10*time.Second)
+	ts := httptest.NewServer(a.mux())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return a, ts
+}
+
+// TestStoreWarmRestart is the -store contract over HTTP: a process runs a
+// program cold, drains (flushing its trap profile into the store), and a
+// second process on the same store directory serves the same program with
+// strictly fewer traps and identical guest results, with the store
+// counters visible under "store" in GET /statsz.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ts1 := storeApp(t, st1)
+	resp, body := postRun(t, ts1, runRequest{Asm: testAsm, Mech: "speh"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: status %d: %s", resp.StatusCode, body)
+	}
+	var cold runResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.MisalignTraps == 0 {
+		t.Fatalf("cold speh run trapped 0 times: %+v", cold)
+	}
+	if err := a1.srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := storeApp(t, st2)
+	resp, body = postRun(t, ts2, runRequest{Asm: testAsm, Mech: "speh"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: status %d: %s", resp.StatusCode, body)
+	}
+	var warm runResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.EAX != cold.EAX || warm.Regs != cold.Regs {
+		t.Fatalf("warm guest result diverged: cold %+v warm %+v", cold.Regs, warm.Regs)
+	}
+	if warm.MisalignTraps >= cold.MisalignTraps {
+		t.Fatalf("restart did not warm-start: cold %d traps, warm %d", cold.MisalignTraps, warm.MisalignTraps)
+	}
+
+	sr, err := http.Get(ts2.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil {
+		t.Fatalf("statsz missing store counters: %+v", stats)
+	}
+	if stats.Store.Hits == 0 {
+		t.Fatalf("warm process never hit the store: %+v", stats.Store)
 	}
 }
 

@@ -9,7 +9,10 @@
 package aot
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -22,6 +25,12 @@ import (
 // ImageVersion is the serialization format version.
 const ImageVersion = 1
 
+// ErrCorrupt reports an image that failed validation — truncation, bit
+// flip, version skew, or a missing/mismatched content checksum. Callers
+// (Engine preseeding, the persistent store, the CLIs) treat it as a
+// degrade signal: drop the image and translate cold; never adopt.
+var ErrCorrupt = errors.New("aot: image corrupt")
+
 // Image is a serialized whole-binary pre-translation schedule. It carries
 // guest-level facts only — block entries, not host code words — because
 // host code is deterministic given (guest image, Options): the engine
@@ -29,8 +38,14 @@ const ImageVersion = 1
 // keeps the image valid across engine configurations and code-cache
 // layouts while still making warm starts bit-identical to cold ones.
 type Image struct {
-	Version int    `json:"version"`
-	Entry   uint32 `json:"entry"`
+	Version int `json:"version"`
+	// Checksum is the hex SHA-256 of the image's canonical content (the
+	// JSON encoding with Checksum itself blanked). Build and Encode seal
+	// it automatically; Decode and Verify reject any image whose bytes do
+	// not reproduce it, so a truncated or bit-flipped body can no longer
+	// decode "successfully" on the strength of a version int alone.
+	Checksum string `json:"checksum,omitempty"`
+	Entry    uint32 `json:"entry"`
 	// Blocks is the recovered block-entry schedule, ascending.
 	Blocks []uint32 `json:"blocks"`
 	// RetTargets is the recovered indirect-branch target set (also present
@@ -47,7 +62,7 @@ type Image struct {
 // Build recovers the CFG from entry through dec and packages it.
 func Build(dec align.Decoder, entry uint32) *Image {
 	cfg := align.RecoverCFG(dec, entry, core.MaxBlockInsts)
-	return &Image{
+	im := &Image{
 		Version:    ImageVersion,
 		Entry:      entry,
 		Blocks:     cfg.BlockPCs(),
@@ -55,6 +70,8 @@ func Build(dec align.Decoder, entry uint32) *Image {
 		Escapes:    cfg.Escapes,
 		Insts:      cfg.Insts,
 	}
+	im.Seal()
+	return im
 }
 
 // BuildFromMemory builds an image for the program loaded in m.
@@ -82,24 +99,61 @@ func (im *Image) Apply(o *core.Options) {
 	o.AOTBlocks = im.Blocks
 }
 
-// Encode writes the image as JSON.
+// contentSum computes the hex SHA-256 of the image's canonical content:
+// its compact JSON encoding with the Checksum field blanked.
+func (im *Image) contentSum() string {
+	c := *im
+	c.Checksum = ""
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		// Image is a plain data struct; Marshal cannot fail on it. Keep
+		// the impossible branch checksum-mismatching rather than panicking.
+		return "unmarshalable"
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Seal stamps the content checksum. Build and Encode call it; images
+// assembled by hand must be sealed before Verify or Decode accepts them.
+func (im *Image) Seal() { im.Checksum = im.contentSum() }
+
+// Verify validates the image: format version, non-empty schedule, and a
+// checksum that reproduces from the content. Any failure is ErrCorrupt.
+func (im *Image) Verify() error {
+	if im.Version != ImageVersion {
+		return fmt.Errorf("aot: image version %d, want %d: %w", im.Version, ImageVersion, ErrCorrupt)
+	}
+	if len(im.Blocks) == 0 {
+		return fmt.Errorf("aot: image has no blocks: %w", ErrCorrupt)
+	}
+	if im.Checksum == "" {
+		return fmt.Errorf("aot: image is unsealed (no checksum): %w", ErrCorrupt)
+	}
+	if got := im.contentSum(); got != im.Checksum {
+		return fmt.Errorf("aot: image checksum %s, content is %s: %w", im.Checksum, got, ErrCorrupt)
+	}
+	return nil
+}
+
+// Encode seals the image and writes it as JSON.
 func (im *Image) Encode(w io.Writer) error {
+	im.Seal()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(im)
 }
 
-// Decode reads and validates a serialized image.
+// Decode reads and validates a serialized image. Truncation, bit flips,
+// version skew, and unsealed bodies all surface as ErrCorrupt — the
+// caller degrades to cold translation, never adopts a damaged schedule.
 func Decode(r io.Reader) (*Image, error) {
 	var im Image
 	if err := json.NewDecoder(r).Decode(&im); err != nil {
-		return nil, fmt.Errorf("aot: decode image: %w", err)
+		return nil, fmt.Errorf("aot: decode image: %v: %w", err, ErrCorrupt)
 	}
-	if im.Version != ImageVersion {
-		return nil, fmt.Errorf("aot: image version %d, want %d", im.Version, ImageVersion)
-	}
-	if len(im.Blocks) == 0 {
-		return nil, fmt.Errorf("aot: image has no blocks")
+	if err := im.Verify(); err != nil {
+		return nil, err
 	}
 	return &im, nil
 }

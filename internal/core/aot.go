@@ -66,6 +66,7 @@ func (e *Engine) preseedAOT(entry uint32) {
 				// so this is an adopted image that does not match the loaded
 				// program. Leave the block to dynamic discovery (which will
 				// fail it properly only if it is ever reached).
+				e.aotPreseedSkips++
 				e.event(EvDegrade, pc, 0, "aot: left to dynamic discovery: "+err.Error())
 			}
 		}

@@ -73,6 +73,15 @@ type Engine struct {
 	// exception handler has seen trap; it survives block invalidation and
 	// cache flushes so retranslations inline the discovered sequences.
 	retainedMDA map[uint32]map[int]bool
+	// trapSites counts delivered misalignment traps per guest instruction
+	// address (registered sites only). Together with the decode cache's
+	// interpreter profiles it forms SiteHistory, the per-session trap
+	// record the persistent store aggregates across sessions.
+	trapSites map[uint32]uint64
+	// aotPreseedSkips counts schedule entries the preseed pass had to
+	// leave to dynamic discovery (adopted image not matching the loaded
+	// program); surfaced through Lint as a degraded-adoption finding.
+	aotPreseedSkips int
 	// reverted records sites the adaptive monitor (§IV-D) has demoted back
 	// to plain operations, per block start PC.
 	reverted map[uint32]map[int]bool
@@ -166,6 +175,8 @@ func (e *Engine) configure(opt Options) {
 	clear(e.dec.far)
 	e.lutClear()
 	e.retainedMDA = make(map[uint32]map[int]bool)
+	e.trapSites = make(map[uint32]uint64)
+	e.aotPreseedSkips = 0
 	e.reverted = make(map[uint32]map[int]bool)
 	e.blacklist = make(map[uint32]bool)
 	e.softEmu = make(map[uint32]bool)
@@ -812,6 +823,7 @@ func (e *Engine) handleMisalign(m *machine.Machine, pc uint64, inst host.Inst, e
 	// handler and the OS-style software fixup is the permanent cost.
 	act := policy.Fixup
 	if known {
+		e.trapSites[ref.site.guestPC]++
 		act = e.mech.OnMisalignTrap(policy.TrapCtx{
 			GuestPC:    ref.site.guestPC,
 			BlockPC:    ref.b.guestPC,

@@ -1,0 +1,40 @@
+package core
+
+// SiteHistoryEntry is one guest instruction address's alignment record
+// for a session: misaligned accesses observed (interpreter profiling plus
+// delivered traps) and aligned accesses observed (interpreter profiling).
+type SiteHistoryEntry struct {
+	MDA     uint64
+	Aligned uint64
+}
+
+// SiteHistory snapshots the engine's per-site alignment knowledge for
+// this session: the decode cache's interpreter profiles merged with the
+// delivered-trap counts the exception handler recorded. It is what the
+// persistent store (internal/store) aggregates across sessions into a
+// trap profile — the FX!32-style amortized static profile — so the next
+// session's SPEH/static-profile run starts with every previously
+// discovered MDA site already known. The engine itself does not interpret
+// the history; Options.StaticSites is the adoption seam.
+//
+// The snapshot is independent of the engine's internal maps; mutating it
+// is safe. Reset clears the underlying records with the rest of the
+// engine state.
+func (e *Engine) SiteHistory() map[uint32]SiteHistoryEntry {
+	out := make(map[uint32]SiteHistoryEntry)
+	e.dec.forEachProf(func(pc uint32, p *siteProfile) {
+		if p.total() == 0 {
+			return
+		}
+		h := out[pc]
+		h.MDA += p.mda
+		h.Aligned += p.aligned
+		out[pc] = h
+	})
+	for pc, n := range e.trapSites {
+		h := out[pc]
+		h.MDA += n
+		out[pc] = h
+	}
+	return out
+}

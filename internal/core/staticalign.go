@@ -149,5 +149,14 @@ func (e *Engine) Lint() []string {
 	for _, f := range e.aotCoverage {
 		out = append(out, fmt.Sprintf("aot coverage: %s", f))
 	}
+	if e.aotPreseedSkips > 0 {
+		// A stale or foreign adopted schedule (e.g. a store artifact that
+		// validated but was built for another build of the program) is a
+		// degraded warm start, not an error: the skipped entries fall back
+		// to dynamic discovery. Surface it so operators see the cold spots.
+		out = append(out, fmt.Sprintf(
+			"aot preseed: %d schedule entries left to dynamic discovery (adopted image does not match the loaded program)",
+			e.aotPreseedSkips))
+	}
 	return out
 }

@@ -63,6 +63,26 @@ const (
 	// ServePanic panics a pool worker before its engine runs; the worker's
 	// panic isolation must convert it into an Internal error response.
 	ServePanic Point = "serve.worker-panic"
+	// StoreTornWrite truncates a persistent-store artifact mid-write,
+	// leaving a torn file at the final path (simulating a power failure on
+	// a filesystem without atomic rename, or a pre-protocol writer). The
+	// save call still reports success; the corruption is latent and must be
+	// caught — and quarantined — by the next read's validation.
+	StoreTornWrite Point = "store.torn-write"
+	// StoreBitFlip flips one payload bit after the artifact checksum has
+	// been computed (bit rot / silent media corruption). Latent like a torn
+	// write: the reader's checksum validation must catch it.
+	StoreBitFlip Point = "store.bit-flip"
+	// StoreReadError fails a store artifact read with an I/O error before
+	// any bytes are returned; the reader degrades to a cold miss.
+	StoreReadError Point = "store.read-error"
+	// StoreStaleFingerprint stamps a just-written artifact with a foreign
+	// options fingerprint (version-skewed writer); the reader must treat
+	// the entry as another configuration's artifact and quarantine it.
+	StoreStaleFingerprint Point = "store.stale-fingerprint"
+	// StoreLockHeld fails the store's single-writer lock acquisition as if
+	// a concurrent writer held it; the writer skips the save gracefully.
+	StoreLockHeld Point = "store.lock-held"
 )
 
 // Points returns every defined injection point.
@@ -71,6 +91,8 @@ func Points() []Point {
 		AllocBlock, AllocStub, Translate, PatchRange,
 		ForcedFlush, SpuriousTrap, DuplicateTrap, SpuriousAccessFault,
 		ServeTransient, ServePanic,
+		StoreTornWrite, StoreBitFlip, StoreReadError,
+		StoreStaleFingerprint, StoreLockHeld,
 	}
 }
 

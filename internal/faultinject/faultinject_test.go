@@ -231,3 +231,23 @@ func TestForkNil(t *testing.T) {
 		t.Fatal("nil plan forked to non-nil")
 	}
 }
+
+// TestStorePointsEnumerated pins the persistent-store corruption points in
+// Points(): RateAll-armed chaos plans (and TestForkDeterminismAcrossWorkers
+// above, which replays every enumerated point through Fork) must cover the
+// store tier too.
+func TestStorePointsEnumerated(t *testing.T) {
+	want := []Point{
+		StoreTornWrite, StoreBitFlip, StoreReadError,
+		StoreStaleFingerprint, StoreLockHeld,
+	}
+	have := make(map[Point]bool)
+	for _, pt := range Points() {
+		have[pt] = true
+	}
+	for _, pt := range want {
+		if !have[pt] {
+			t.Errorf("Points() missing %s", pt)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"mdabt/internal/core"
@@ -11,6 +12,7 @@ import (
 	"mdabt/internal/guest"
 	"mdabt/internal/machine"
 	"mdabt/internal/mem"
+	"mdabt/internal/store"
 )
 
 // Request describes one guest program execution.
@@ -34,6 +36,13 @@ type Request struct {
 	// It must be idempotent — a retried request calls it again on a reset
 	// memory. Workload programs plug in here (Program.Load).
 	Load func(m *mem.Memory) uint32
+
+	// StoreKey names the program for the persistent artifact store
+	// (ServerOptions.Store): requests sharing a StoreKey share warm-start
+	// artifacts and aggregate into one trap profile. Empty derives it
+	// from the Image/Data content hash; loader-hook requests without an
+	// explicit StoreKey bypass the store (no stable content identity).
+	StoreKey string
 
 	// Options configures the translator for this request; nil selects the
 	// server default. The fault plan inside (if any) must be private to
@@ -76,6 +85,12 @@ type ServerOptions struct {
 	Budget uint64
 	// Params is the host cost model (nil: machine.DefaultParams).
 	Params *machine.Params
+	// Store, when non-nil, is the persistent artifact store: workers
+	// warm-start from its AOT images and trap profiles, and accumulated
+	// per-site trap histories are merged back on Drain/Close. Any
+	// artifact problem degrades the request to cold translation — it
+	// never fails it (see store.go in this package).
+	Store *store.Store
 }
 
 // Server runs guest programs on a pool of reusable engines. Each worker
@@ -87,6 +102,13 @@ type Server struct {
 	opt    core.Options
 	budget uint64
 	params machine.Params
+
+	// store is the optional persistent artifact store; profiles holds the
+	// per-(program, fingerprint) trap-history deltas accumulated since
+	// the last flush, under profMu.
+	store    *store.Store
+	profMu   sync.Mutex
+	profiles map[profKey]*store.TrapProfile
 }
 
 // engineBundle is the per-worker engine state stored in Worker.State.
@@ -98,7 +120,12 @@ type engineBundle struct {
 
 // NewServer builds the server and starts its pool.
 func NewServer(opt ServerOptions) *Server {
-	s := &Server{pool: NewPool(opt.Pool), budget: opt.Budget}
+	s := &Server{
+		pool:     NewPool(opt.Pool),
+		budget:   opt.Budget,
+		store:    opt.Store,
+		profiles: make(map[profKey]*store.TrapProfile),
+	}
 	if s.budget == 0 {
 		s.budget = 4_000_000_000
 	}
@@ -152,6 +179,14 @@ func (s *Server) attempt(ctx context.Context, w *Worker, req Request) (*Result, 
 	if req.Options != nil {
 		opt = *req.Options
 	}
+	// Warm-start from the persistent store: adopt a stored AOT schedule
+	// and/or trap profile for this (program, options) pair. Misses and
+	// corrupt artifacts (quarantined inside the store) leave opt cold.
+	program := storeProgram(req)
+	var fingerprint string
+	if s.store != nil && program != "" {
+		fingerprint = s.warmStart(&opt, program)
+	}
 	b, _ := w.State.(*engineBundle)
 	if b == nil {
 		b = &engineBundle{mem: mem.New()}
@@ -201,6 +236,11 @@ func (s *Server) attempt(ctx context.Context, w *Worker, req Request) (*Result, 
 	if err := b.eng.RunContext(ctx, entry, budget); err != nil {
 		return nil, err
 	}
+	// A completed request contributes its session's site history to the
+	// pending store delta (flushed on Drain/Close).
+	if s.store != nil && program != "" {
+		s.accumulate(program, fingerprint, b.eng.SiteHistory())
+	}
 	ts1 := b.eng.TraceStats()
 	return &Result{
 		CPU:      b.eng.FinalCPU(),
@@ -221,8 +261,15 @@ func (s *Server) attempt(ctx context.Context, w *Worker, req Request) (*Result, 
 // Health returns the pool health snapshot.
 func (s *Server) Health() Health { return s.pool.Health() }
 
-// Drain stops admissions and waits for in-flight requests (or ctx).
-func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
+// Drain stops admissions, waits for in-flight requests (or ctx), then
+// flushes the accumulated trap-profile deltas into the persistent store —
+// the point where per-worker profile knowledge stops dying with the
+// worker. A failed flush requeues its delta for the next Drain/Close.
+func (s *Server) Drain(ctx context.Context) error {
+	return joinDrainErr(s.pool.Drain(ctx), s.flushProfiles())
+}
 
-// Close drains and stops the pool.
-func (s *Server) Close() error { return s.pool.Close() }
+// Close drains and stops the pool, flushing pending trap profiles.
+func (s *Server) Close() error {
+	return joinDrainErr(s.pool.Close(), s.flushProfiles())
+}

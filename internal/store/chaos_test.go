@@ -1,0 +1,226 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mdabt/internal/faultinject"
+)
+
+// chaosSeed pins every store chaos schedule; failures replay exactly.
+const chaosSeed = 20260807
+
+// TestHelperCrashWriter is not a test: it is the child process for
+// TestCrashRecoveryAfterKillMidWrite. When STORE_CRASH_DIR is set it
+// opens the store there and saves artifacts in a tight loop until it is
+// SIGKILLed by the parent.
+func TestHelperCrashWriter(t *testing.T) {
+	dir := os.Getenv("STORE_CRASH_DIR")
+	if dir == "" {
+		t.Skip("helper mode only")
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("helper open: %v", err)
+	}
+	blob := []byte(strings.Repeat("payload-", 4096))
+	for i := 0; ; i++ {
+		k := Key{Program: fmt.Sprintf("prog-%d", i%4), Fingerprint: "fp", Kind: KindAOTImage}
+		if err := s.Save(k, &testPayload{Name: k.Program, Value: i, Blob: blob}); err != nil {
+			t.Fatalf("helper save: %v", err)
+		}
+	}
+}
+
+// TestCrashRecoveryAfterKillMidWrite SIGKILLs a real writer process
+// mid-stream, reopens the store, and asserts the crash-safety contract:
+// temp debris is swept, every surviving artifact either validates or
+// quarantines (never decodes wrong), and the store is immediately
+// writable again.
+func TestCrashRecoveryAfterKillMidWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("executable: %v", err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestHelperCrashWriter$")
+	cmd.Env = append(os.Environ(), "STORE_CRASH_DIR="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start helper: %v", err)
+	}
+	// Let the writer make progress, then kill it mid-write.
+	time.Sleep(150 * time.Millisecond)
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	// No temp debris survives Open.
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasPrefix(filepath.Base(path), tempPrefix) {
+			t.Errorf("temp debris survived reopen: %s", path)
+		}
+		return nil
+	})
+	// Every surviving artifact validates or quarantines; none decodes
+	// into a wrong payload.
+	for i := 0; i < 4; i++ {
+		k := Key{Program: fmt.Sprintf("prog-%d", i), Fingerprint: "fp", Kind: KindAOTImage}
+		var out testPayload
+		err := s.Load(k, &out)
+		switch {
+		case err == nil:
+			if out.Name != k.Program {
+				t.Fatalf("artifact %d decoded with foreign payload: %+v", i, out)
+			}
+		case errors.Is(err, ErrNotFound), errors.Is(err, ErrCorrupt):
+			// Clean miss or quarantined torn write: both read as cold.
+		default:
+			t.Fatalf("artifact %d: unexpected error class: %v", i, err)
+		}
+	}
+	// The store is immediately writable and consistent again.
+	k := Key{Program: "prog-0", Fingerprint: "fp", Kind: KindAOTImage}
+	if err := s.Save(k, &testPayload{Name: "prog-0", Value: -1}); err != nil {
+		t.Fatalf("save after crash recovery: %v", err)
+	}
+	var out testPayload
+	if err := s.Load(k, &out); err != nil || out.Value != -1 {
+		t.Fatalf("load after crash recovery: %v (%+v)", err, out)
+	}
+}
+
+// TestTornFinalFileQuarantinesOnReopen covers the non-atomic-rename /
+// power-cut case the kill test cannot force deterministically: a torn
+// artifact sitting at a *final* path. The reopened store must quarantine
+// it on first read and fall back to a clean miss.
+func TestTornFinalFileQuarantinesOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpenAt(t, dir)
+	k := testKey(KindAOTImage)
+	if err := s.Save(k, &testPayload{Value: 7, Blob: []byte(strings.Repeat("x", 256))}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(s.path(k), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	s2 := mustOpenAt(t, dir)
+	var out testPayload
+	if err := s2.Load(k, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn final file: got %v, want ErrCorrupt", err)
+	}
+	if err := s2.Load(k, &out); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after quarantine: got %v, want ErrNotFound", err)
+	}
+	if n := quarantineCount(t, s2); n != 1 {
+		t.Fatalf("quarantine entries: got %d, want 1", n)
+	}
+}
+
+func mustOpenAt(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestStoreChaosAllPoints hammers one store with every store.* fault
+// point armed on a fixed-seed plan and checks the global robustness
+// invariants: a Load either returns a payload that some past Save was
+// given (integrity — never a wrong or mixed result) or fails cleanly;
+// every corrupt read quarantines; the counters reconcile; and once the
+// faults stop, the store recovers to normal service on every key.
+func TestStoreChaosAllPoints(t *testing.T) {
+	s := mustOpen(t)
+	plan := faultinject.New(chaosSeed)
+	for _, pt := range []faultinject.Point{
+		faultinject.StoreTornWrite, faultinject.StoreBitFlip,
+		faultinject.StoreReadError, faultinject.StoreStaleFingerprint,
+		faultinject.StoreLockHeld,
+	} {
+		plan.Rate(pt, 0.2)
+	}
+	s.SetFaultPlan(plan)
+
+	rng := rand.New(rand.NewSource(chaosSeed))
+	keys := make([]Key, 3)
+	for i := range keys {
+		keys[i] = Key{Program: fmt.Sprintf("prog-%d", i), Fingerprint: "fp", Kind: KindAOTImage}
+	}
+	// Every value ever handed to Save, per key: a hit must return one of
+	// these (a torn/bit-flipped save is *latent*; it reports success but
+	// must never be served).
+	attempted := make(map[Key]map[int]bool)
+	for _, k := range keys {
+		attempted[k] = make(map[int]bool)
+	}
+	const iters = 400
+	for i := 0; i < iters; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(2) == 0 {
+			v := i
+			err := s.Save(k, &testPayload{Name: k.Program, Value: v})
+			if err == nil {
+				attempted[k][v] = true
+			} else if !errors.Is(err, ErrBusy) {
+				t.Fatalf("iter %d: save error class: %v", i, err)
+			}
+		} else {
+			var out testPayload
+			err := s.Load(k, &out)
+			switch {
+			case err == nil:
+				if out.Name != k.Program || !attempted[k][out.Value] {
+					t.Fatalf("iter %d: hit returned a value never saved for %v: %+v", i, k, out)
+				}
+			case errors.Is(err, ErrNotFound), errors.Is(err, ErrCorrupt):
+			default:
+				// Injected read errors surface as plain I/O errors.
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Loads != st.Hits+st.Misses+st.Corrupt+st.ReadErrors {
+		t.Fatalf("load counters do not reconcile: %+v", st)
+	}
+	if st.Corrupt != st.Quarantined {
+		t.Fatalf("every corrupt read must quarantine: %+v", st)
+	}
+	if st.Corrupt == 0 || st.LockConflicts == 0 || st.ReadErrors == 0 {
+		t.Fatalf("chaos plan never fired some point classes: %+v", st)
+	}
+	q, err := s.Quarantined()
+	if err != nil || uint64(len(q)) != st.Quarantined {
+		t.Fatalf("quarantine dir (%d names, err %v) vs counter %d", len(q), err, st.Quarantined)
+	}
+
+	// Faults off: full recovery on every key.
+	s.SetFaultPlan(nil)
+	for i, k := range keys {
+		if err := s.Save(k, &testPayload{Name: k.Program, Value: -i}); err != nil {
+			t.Fatalf("recovery save %v: %v", k, err)
+		}
+		var out testPayload
+		if err := s.Load(k, &out); err != nil || out.Value != -i {
+			t.Fatalf("recovery load %v: %v (%+v)", k, err, out)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// flockExcl takes the cross-process single-writer lock: a blocking
+// exclusive flock on root/store.lock. Concurrent writers in other
+// processes serialize here; the in-process mutex (held by the caller)
+// serializes goroutines, so the flock never self-deadlocks. The returned
+// release function drops the lock.
+func (s *Store) flockExcl() (func(), error) {
+	f, err := os.OpenFile(s.lockPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: flock: %w", err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

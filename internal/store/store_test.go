@@ -1,0 +1,453 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mdabt/internal/faultinject"
+)
+
+type testPayload struct {
+	Name  string `json:"name"`
+	Value int    `json:"value"`
+	Blob  []byte `json:"blob,omitempty"`
+}
+
+func testKey(kind Kind) Key {
+	return Key{Program: "prog-" + strings.Repeat("ab", 8), Fingerprint: "fp-0011", Kind: kind}
+}
+
+func mustOpen(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func quarantineCount(t *testing.T, s *Store) int {
+	t.Helper()
+	names, err := s.Quarantined()
+	if err != nil {
+		t.Fatalf("Quarantined: %v", err)
+	}
+	return len(names)
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	in := testPayload{Name: "x", Value: 42, Blob: []byte{1, 2, 3}}
+	if err := s.Save(k, &in); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var out testPayload
+	if err := s.Load(k, &out); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.Name != in.Name || out.Value != in.Value || string(out.Blob) != string(in.Blob) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", out, in)
+	}
+	st := s.Stats()
+	if st.Saves != 1 || st.Loads != 1 || st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 {
+		t.Fatalf("stats after round trip: %+v", st)
+	}
+}
+
+func TestMissIsNotFound(t *testing.T) {
+	s := mustOpen(t)
+	var out testPayload
+	err := s.Load(testKey(KindTrapProfile), &out)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load on empty store: got %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+}
+
+// keyDistinctness: distinct programs, fingerprints, and kinds address
+// distinct artifacts.
+func TestKeySeparation(t *testing.T) {
+	s := mustOpen(t)
+	base := testKey(KindAOTImage)
+	variants := []Key{
+		base,
+		{Program: base.Program, Fingerprint: "fp-other", Kind: base.Kind},
+		{Program: "prog-other", Fingerprint: base.Fingerprint, Kind: base.Kind},
+		{Program: base.Program, Fingerprint: base.Fingerprint, Kind: KindTrapProfile},
+	}
+	for i, k := range variants {
+		if err := s.Save(k, &testPayload{Value: i}); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	for i, k := range variants {
+		var out testPayload
+		if err := s.Load(k, &out); err != nil {
+			t.Fatalf("Load %d: %v", i, err)
+		}
+		if out.Value != i {
+			t.Fatalf("key %d: got value %d, want %d", i, out.Value, i)
+		}
+	}
+}
+
+// corruptOnDisk mutates the stored artifact file via fn and returns its
+// path.
+func corruptOnDisk(t *testing.T, s *Store, k Key, fn func([]byte) []byte) string {
+	t.Helper()
+	path := s.path(k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	if err := os.WriteFile(path, fn(raw), 0o644); err != nil {
+		t.Fatalf("rewrite artifact: %v", err)
+	}
+	return path
+}
+
+func TestTruncationQuarantines(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	if err := s.Save(k, &testPayload{Value: 7}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	corruptOnDisk(t, s, k, func(b []byte) []byte { return b[:len(b)/3] })
+	var out testPayload
+	if err := s.Load(k, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of truncated artifact: got %v, want ErrCorrupt", err)
+	}
+	if n := quarantineCount(t, s); n != 1 {
+		t.Fatalf("quarantine entries: got %d, want 1", n)
+	}
+	// The corrupt entry left the object tree: next read is a clean miss.
+	if err := s.Load(k, &out); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load after quarantine: got %v, want ErrNotFound", err)
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Quarantined != 1 || st.Misses != 1 {
+		t.Fatalf("stats after truncation: %+v", st)
+	}
+}
+
+func TestBitFlipQuarantines(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	if err := s.Save(k, &testPayload{Value: 7, Blob: []byte(strings.Repeat("z", 64))}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	corruptOnDisk(t, s, k, func(b []byte) []byte {
+		// Flip a bit inside the payload body (past the envelope header).
+		i := len(b) / 2
+		b[i] ^= 0x01
+		return b
+	})
+	var out testPayload
+	if err := s.Load(k, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of bit-flipped artifact: got %v, want ErrCorrupt", err)
+	}
+	if n := quarantineCount(t, s); n != 1 {
+		t.Fatalf("quarantine entries: got %d, want 1", n)
+	}
+}
+
+func TestVersionSkewQuarantines(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	if err := s.Save(k, &testPayload{Value: 7}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	corruptOnDisk(t, s, k, func(b []byte) []byte {
+		out := strings.Replace(string(b),
+			fmt.Sprintf("\"version\":%d", FormatVersion),
+			fmt.Sprintf("\"version\":%d", FormatVersion+1), 1)
+		if out == string(b) {
+			t.Fatalf("version field not found in envelope")
+		}
+		return []byte(out)
+	})
+	var out testPayload
+	if err := s.Load(k, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of version-skewed artifact: got %v, want ErrCorrupt", err)
+	}
+	st := s.Stats()
+	if st.VersionSkew != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats after version skew: %+v", st)
+	}
+}
+
+func TestForeignArtifactQuarantines(t *testing.T) {
+	s := mustOpen(t)
+	a := testKey(KindAOTImage)
+	b := Key{Program: a.Program, Fingerprint: "fp-other", Kind: a.Kind}
+	if err := s.Save(a, &testPayload{Value: 7}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// A foreign artifact lands under b's name (renamed file, collision, a
+	// version-skewed writer): key validation must reject it.
+	if err := os.Rename(s.path(a), s.path(b)); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	var out testPayload
+	if err := s.Load(b, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of foreign artifact: got %v, want ErrCorrupt", err)
+	}
+	st := s.Stats()
+	if st.Foreign != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats after foreign load: %+v", st)
+	}
+}
+
+func TestInjectedTornWriteIsLatent(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	s.SetFaultPlan(faultinject.New(1).At(faultinject.StoreTornWrite, 1))
+	// The torn save reports success — the corruption is latent.
+	if err := s.Save(k, &testPayload{Value: 7}); err != nil {
+		t.Fatalf("torn Save reported error: %v", err)
+	}
+	var out testPayload
+	if err := s.Load(k, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load after torn write: got %v, want ErrCorrupt", err)
+	}
+	if n := quarantineCount(t, s); n != 1 {
+		t.Fatalf("quarantine entries: got %d, want 1", n)
+	}
+	// A clean rewrite recovers the slot.
+	if err := s.Save(k, &testPayload{Value: 8}); err != nil {
+		t.Fatalf("clean Save: %v", err)
+	}
+	if err := s.Load(k, &out); err != nil || out.Value != 8 {
+		t.Fatalf("Load after recovery: %v (value %d)", err, out.Value)
+	}
+}
+
+func TestInjectedBitFlipIsLatent(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	s.SetFaultPlan(faultinject.New(1).At(faultinject.StoreBitFlip, 1))
+	if err := s.Save(k, &testPayload{Value: 7, Blob: []byte(strings.Repeat("q", 128))}); err != nil {
+		t.Fatalf("bit-flipped Save reported error: %v", err)
+	}
+	var out testPayload
+	if err := s.Load(k, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load after bit flip: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInjectedStaleFingerprintQuarantinesAsForeign(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	s.SetFaultPlan(faultinject.New(1).At(faultinject.StoreStaleFingerprint, 1))
+	if err := s.Save(k, &testPayload{Value: 7}); err != nil {
+		t.Fatalf("stale-fingerprint Save reported error: %v", err)
+	}
+	var out testPayload
+	if err := s.Load(k, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load after stale fingerprint: got %v, want ErrCorrupt", err)
+	}
+	st := s.Stats()
+	if st.Foreign != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats after stale fingerprint: %+v", st)
+	}
+}
+
+func TestInjectedReadErrorIsACleanMiss(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	if err := s.Save(k, &testPayload{Value: 7}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	s.SetFaultPlan(faultinject.New(1).At(faultinject.StoreReadError, 1))
+	var out testPayload
+	err := s.Load(k, &out)
+	if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load under read error: got %v, want a plain I/O error", err)
+	}
+	// Nothing quarantined — the artifact is fine, the read wasn't.
+	if n := quarantineCount(t, s); n != 0 {
+		t.Fatalf("quarantine entries after read error: got %d, want 0", n)
+	}
+	if err := s.Load(k, &out); err != nil || out.Value != 7 {
+		t.Fatalf("Load after transient read error: %v (value %d)", err, out.Value)
+	}
+	st := s.Stats()
+	if st.ReadErrors != 1 || st.Hits != 1 {
+		t.Fatalf("stats after read error: %+v", st)
+	}
+}
+
+func TestInjectedLockHeldSkipsSave(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindAOTImage)
+	s.SetFaultPlan(faultinject.New(1).At(faultinject.StoreLockHeld, 1))
+	if err := s.Save(k, &testPayload{Value: 7}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Save under held lock: got %v, want ErrBusy", err)
+	}
+	var out testPayload
+	if err := s.Load(k, &out); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("nothing should have been written: got %v, want ErrNotFound", err)
+	}
+	st := s.Stats()
+	if st.LockConflicts != 1 || st.Saves != 0 {
+		t.Fatalf("stats after lock conflict: %+v", st)
+	}
+	// The next save goes through.
+	if err := s.Save(k, &testPayload{Value: 8}); err != nil {
+		t.Fatalf("Save after conflict: %v", err)
+	}
+}
+
+func TestOpenSweepsTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	k := testKey(KindAOTImage)
+	if err := s.Save(k, &testPayload{Value: 7}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// A writer killed mid-write leaves temp files next to real artifacts.
+	debris := filepath.Join(filepath.Dir(s.path(k)), tempPrefix+"killed-123")
+	if err := os.WriteFile(debris, []byte("partial"), 0o644); err != nil {
+		t.Fatalf("plant debris: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := os.Stat(debris); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp debris survived reopen: %v", err)
+	}
+	// The completed artifact survives.
+	var out testPayload
+	if err := s2.Load(k, &out); err != nil || out.Value != 7 {
+		t.Fatalf("Load after reopen: %v (value %d)", err, out.Value)
+	}
+}
+
+func TestTrapProfileMergeSemantics(t *testing.T) {
+	var a TrapProfile
+	a.Sessions = 1
+	a.Add(0x100, 5, 10)
+	a.Add(0x80, 0, 3)
+	b := &TrapProfile{Sessions: 2, Sites: []TrapSite{{PC: 0x100, MDA: 1, Aligned: 2}, {PC: 0x200, MDA: 4, Aligned: 0}}}
+	a.Merge(b)
+	want := []TrapSite{{PC: 0x80, MDA: 0, Aligned: 3}, {PC: 0x100, MDA: 6, Aligned: 12}, {PC: 0x200, MDA: 4, Aligned: 0}}
+	if a.Sessions != 3 || len(a.Sites) != len(want) {
+		t.Fatalf("merged profile: %+v", a)
+	}
+	for i, w := range want {
+		if a.Sites[i] != w {
+			t.Fatalf("site %d: got %+v want %+v", i, a.Sites[i], w)
+		}
+	}
+	sites := a.StaticSites()
+	if len(sites) != 2 || !sites[0x100] || !sites[0x200] || sites[0x80] {
+		t.Fatalf("StaticSites: %v", sites)
+	}
+	if (&TrapProfile{}).StaticSites() != nil {
+		t.Fatalf("empty profile should yield nil StaticSites")
+	}
+}
+
+func TestMergeTrapProfileAccumulates(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindTrapProfile)
+	d1 := &TrapProfile{Sessions: 1, Sites: []TrapSite{{PC: 0x10, MDA: 2, Aligned: 1}}}
+	d2 := &TrapProfile{Sessions: 1, Sites: []TrapSite{{PC: 0x10, MDA: 3, Aligned: 0}, {PC: 0x20, MDA: 1, Aligned: 9}}}
+	if err := s.MergeTrapProfile(k, d1); err != nil {
+		t.Fatalf("merge 1: %v", err)
+	}
+	if err := s.MergeTrapProfile(k, d2); err != nil {
+		t.Fatalf("merge 2: %v", err)
+	}
+	var got TrapProfile
+	if err := s.Load(k, &got); err != nil {
+		t.Fatalf("Load merged: %v", err)
+	}
+	if got.Sessions != 2 || len(got.Sites) != 2 ||
+		got.Sites[0] != (TrapSite{PC: 0x10, MDA: 5, Aligned: 1}) ||
+		got.Sites[1] != (TrapSite{PC: 0x20, MDA: 1, Aligned: 9}) {
+		t.Fatalf("merged profile: %+v", got)
+	}
+	if st := s.Stats(); st.Merges != 2 {
+		t.Fatalf("merge counter: %+v", st)
+	}
+}
+
+func TestMergeTrapProfileRecoversFromCorruptPrior(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindTrapProfile)
+	if err := s.MergeTrapProfile(k, &TrapProfile{Sessions: 1, Sites: []TrapSite{{PC: 0x10, MDA: 2}}}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	corruptOnDisk(t, s, k, func(b []byte) []byte { return b[:len(b)-4] })
+	// The corrupt prior quarantines; the merge restarts from the delta.
+	if err := s.MergeTrapProfile(k, &TrapProfile{Sessions: 1, Sites: []TrapSite{{PC: 0x20, MDA: 1}}}); err != nil {
+		t.Fatalf("merge over corrupt prior: %v", err)
+	}
+	var got TrapProfile
+	if err := s.Load(k, &got); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Sessions != 1 || len(got.Sites) != 1 || got.Sites[0].PC != 0x20 {
+		t.Fatalf("profile after corrupt prior: %+v", got)
+	}
+	if n := quarantineCount(t, s); n != 1 {
+		t.Fatalf("quarantine entries: got %d, want 1", n)
+	}
+}
+
+// TestConcurrentMergersLoseNothing drives parallel read-modify-write
+// merges; the single-writer lock must serialize them so every site
+// survives. Run under -race this also proves the counters and lock paths
+// are data-race-free.
+func TestConcurrentMergersLoseNothing(t *testing.T) {
+	s := mustOpen(t)
+	k := testKey(KindTrapProfile)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			delta := &TrapProfile{Sessions: 1, Sites: []TrapSite{{PC: uint32(0x100 + w), MDA: uint64(w + 1)}}}
+			if err := s.MergeTrapProfile(k, delta); err != nil {
+				t.Errorf("worker %d merge: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var got TrapProfile
+	if err := s.Load(k, &got); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Sessions != workers || len(got.Sites) != workers {
+		t.Fatalf("lost updates: sessions=%d sites=%d want %d each", got.Sessions, len(got.Sites), workers)
+	}
+	for w := 0; w < workers; w++ {
+		i := w
+		if got.Sites[i].PC != uint32(0x100+w) || got.Sites[i].MDA != uint64(w+1) {
+			t.Fatalf("site %d: %+v", w, got.Sites[i])
+		}
+	}
+}
+
+func TestHashProgramDistinguishesPartBoundaries(t *testing.T) {
+	if HashProgram([]byte("ab"), []byte("c")) == HashProgram([]byte("a"), []byte("bc")) {
+		t.Fatalf("part boundaries must be length-prefixed into the hash")
+	}
+	if HashProgram([]byte("ab")) != HashProgram([]byte("ab")) {
+		t.Fatalf("hash must be deterministic")
+	}
+}
